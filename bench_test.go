@@ -1,0 +1,116 @@
+// Top-level benchmarks: one per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment at a reduced scale
+// (so `go test -bench=.` completes in minutes) and reports the headline
+// simulated quantity as a custom metric. cmd/sionbench runs the same
+// experiments at the paper's full scale.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/expt"
+)
+
+// benchScale divides the paper's task counts and data volumes.
+const benchScale = 16
+
+// lastFloat extracts the trailing numeric cell of a row (strips units).
+func lastFloat(cells []string, col int) float64 {
+	s := strings.TrimSuffix(strings.TrimSpace(cells[col]), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func benchExperiment(b *testing.B, name string, metric func(r *expt.Result) (float64, string)) {
+	b.Helper()
+	run := expt.ByName(name)
+	if run == nil {
+		b.Fatalf("unknown experiment %s", name)
+	}
+	var res *expt.Result
+	for i := 0; i < b.N; i++ {
+		res = run(benchScale)
+	}
+	if v, unit := metric(res); unit != "" {
+		b.ReportMetric(v, unit)
+	}
+}
+
+// BenchmarkFig3aFileCreation regenerates Fig. 3a (Jugene file creation vs
+// SION create); the metric is the simulated creation time of the largest
+// configuration's task-local files.
+func BenchmarkFig3aFileCreation(b *testing.B) {
+	benchExperiment(b, "fig3a", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-create-s"
+	})
+}
+
+// BenchmarkFig3bFileCreation regenerates Fig. 3b (Jaguar).
+func BenchmarkFig3bFileCreation(b *testing.B) {
+	benchExperiment(b, "fig3b", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-create-s"
+	})
+}
+
+// BenchmarkFig4aBandwidthVsFiles regenerates Fig. 4a; the metric is the
+// saturated write bandwidth (last row).
+func BenchmarkFig4aBandwidthVsFiles(b *testing.B) {
+	benchExperiment(b, "fig4a", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-MB/s"
+	})
+}
+
+// BenchmarkFig4bStriping regenerates Fig. 4b (Jaguar striping configs).
+func BenchmarkFig4bStriping(b *testing.B) {
+	benchExperiment(b, "fig4b", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-MB/s"
+	})
+}
+
+// BenchmarkTable1Alignment regenerates Table 1; the metric is the
+// write-degradation ratio of misaligned chunks.
+func BenchmarkTable1Alignment(b *testing.B) {
+	benchExperiment(b, "tab1", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "align-ratio"
+	})
+}
+
+// BenchmarkFig5aSionVsTaskLocal regenerates Fig. 5a (Jugene).
+func BenchmarkFig5aSionVsTaskLocal(b *testing.B) {
+	benchExperiment(b, "fig5a", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-MB/s"
+	})
+}
+
+// BenchmarkFig5bSionVsTaskLocal regenerates Fig. 5b (Jaguar).
+func BenchmarkFig5bSionVsTaskLocal(b *testing.B) {
+	benchExperiment(b, "fig5b", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 1), "sim-MB/s"
+	})
+}
+
+// BenchmarkFig6MP2CRestart regenerates Fig. 6; the metric is the baseline/
+// SION write-time ratio at 33 Mio particles.
+func BenchmarkFig6MP2CRestart(b *testing.B) {
+	benchExperiment(b, "fig6", func(r *expt.Result) (float64, string) {
+		for _, row := range r.Rows {
+			if row[0] == "33" {
+				return lastFloat(row, 3) / lastFloat(row, 1), "speedup-33Mio"
+			}
+		}
+		return 0, ""
+	})
+}
+
+// BenchmarkTable2ScalascaActivation regenerates Table 2; the metric is the
+// activation speedup.
+func BenchmarkTable2ScalascaActivation(b *testing.B) {
+	benchExperiment(b, "tab2", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[len(r.Rows)-1], 3), "activation-speedup"
+	})
+}

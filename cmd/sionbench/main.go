@@ -1,0 +1,49 @@
+// Command sionbench regenerates the paper's evaluation tables and figures
+// on the simulated Jugene and Jaguar machines.
+//
+// Usage:
+//
+//	sionbench [-exp fig3a,...|all] [-scale N]
+//
+// With -scale 1 (the default) every experiment runs at the paper's full
+// configuration (up to 64K tasks and terabytes of simulated I/O); larger
+// scale divisors shrink task counts and volumes proportionally for quick
+// runs. Output is one text table per experiment, with the paper's numbers
+// referenced in the notes for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiment ids ("+strings.Join(expt.Names(), ",")+") or 'all'")
+	scale := flag.Int("scale", 1, "scale divisor for task counts and data volumes (1 = paper scale)")
+	flag.Parse()
+
+	var names []string
+	if *exps == "all" {
+		names = expt.Names()
+	} else {
+		names = strings.Split(*exps, ",")
+	}
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		run := expt.ByName(name)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "sionbench: unknown experiment %q (known: %s)\n",
+				name, strings.Join(expt.Names(), ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		res := run(*scale)
+		res.Notes = append(res.Notes, fmt.Sprintf("regenerated in %.1fs wall time at scale %d", time.Since(start).Seconds(), *scale))
+		res.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,26 @@
+// Command siondefrag rewrites a SION multifile so that each task's data
+// occupies a single chunk in one block, removing the logical gaps left by
+// partially filled blocks (the paper's §3.3 "defragment" utility).
+//
+// Usage: siondefrag <src-multifile> <dst-multifile>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: siondefrag <src> <dst>")
+		os.Exit(2)
+	}
+	fs := fsio.NewOS("")
+	if err := sion.Defrag(fs, os.Args[1], fs, os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "siondefrag:", err)
+		os.Exit(1)
+	}
+}

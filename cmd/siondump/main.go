@@ -1,0 +1,25 @@
+// Command siondump prints the metadata of a SION multifile (the paper's
+// §3.3 "dump" utility): global layout, per-segment geometry, and the
+// per-task chunk table.
+//
+// Usage: siondump <multifile>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: siondump <multifile>")
+		os.Exit(2)
+	}
+	if err := sion.Dump(fsio.NewOS(""), os.Args[1], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "siondump:", err)
+		os.Exit(1)
+	}
+}

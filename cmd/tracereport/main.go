@@ -1,0 +1,54 @@
+// Command tracereport summarizes a trace multifile written by the tracing
+// substrate (internal/trace): per-rank event counts and a global profile
+// (region times, message volume) — the serial counterpart of the parallel
+// analyzer, handy for inspecting traces produced by examples/tracing.
+//
+// Usage: tracereport <trace-multifile>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracereport <trace-multifile>")
+		os.Exit(2)
+	}
+	fsys := fsio.NewOS("")
+	sf, err := sion.Open(fsys, os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracereport:", err)
+		os.Exit(1)
+	}
+	ntasks := sf.NTasks()
+	sf.Close()
+
+	global := &trace.GlobalProfile{Ranks: ntasks, RegionTime: make(map[uint32]float64)}
+	for r := 0; r < ntasks; r++ {
+		events, err := trace.ReadSION(fsys, os.Args[1], r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracereport: rank %d: %v\n", r, err)
+			os.Exit(1)
+		}
+		p := trace.BuildProfile(r, events)
+		fmt.Printf("rank %4d: %7d events, %6d sends, %6d recvs, span %.3fs\n",
+			r, p.Events, p.Sends, p.Recvs, p.Span)
+		global.Events += int64(p.Events)
+		global.Sends += int64(p.Sends)
+		global.BytesSent += p.BytesSent
+		if p.Span > global.MaxSpan {
+			global.MaxSpan = p.Span
+		}
+		for reg, tm := range p.Regions {
+			global.RegionTime[reg] += tm
+		}
+	}
+	fmt.Println()
+	global.Format(os.Stdout)
+}

@@ -1,0 +1,75 @@
+// Tracing: a Scalasca-style workflow (paper §5.2) on 8 parallel tasks.
+// Each task records an SMG2000-like event stream, the traces are flushed
+// zlib-compressed into a SION multifile at measurement finalization, and a
+// parallel post-mortem analysis loads every rank's trace through the
+// serial task-local view and searches for late-sender wait states.
+//
+// Run with: go run ./examples/tracing [dir]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+func main() {
+	dir := os.TempDir()
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fsys := fsio.NewOS(dir)
+	const ntasks = 8
+
+	// Measurement: record and flush at finalization (multifile, 2 segments).
+	mpi.Run(ntasks, func(c *mpi.Comm) {
+		tr := trace.NewTracer(c.Rank())
+		trace.SMGWorkload(tr, c.Rank(), ntasks, 64<<10)
+		if c.Rank() == 3 {
+			// Task 3 dawdles before its sends: a deliberate late sender.
+			tr.Advance(0.25)
+			tr.Send(uint32((c.Rank()+1)%ntasks), 9999, 1<<16)
+		}
+		if err := trace.FlushSION(c, fsys, "smg.sion", tr, 2); err != nil {
+			log.Fatalf("rank %d: flush: %v", c.Rank(), err)
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("flushed %d ranks' compressed traces into smg.sion\n", ntasks)
+		}
+	})
+
+	// Post-mortem parallel analysis (reads via the serial rank view).
+	mpi.Run(ntasks, func(c *mpi.Comm) {
+		events, err := trace.ReadSION(fsys, "smg.sion", c.Rank())
+		if err != nil {
+			log.Fatalf("rank %d: read: %v", c.Rank(), err)
+		}
+		if c.Rank() == 0 {
+			rt := trace.RegionTime(events)
+			fmt.Printf("rank 0: %d events; region times: %v\n", len(events), rt)
+		}
+		if c.Rank() == 4 {
+			// Rank 4 is task 3's neighbour: it receives the late message.
+			// (The workload's ring receive of tag 9999 is unmatched there,
+			// so no extra receive is needed for this demo.)
+			_ = events
+		}
+		waits, err := trace.AnalyzeLateSenders(c, func(rank int) ([]trace.Event, error) {
+			return trace.ReadSION(fsys, "smg.sion", rank)
+		})
+		if err != nil {
+			log.Fatalf("rank %d: analysis: %v", c.Rank(), err)
+		}
+		for _, w := range waits {
+			fmt.Printf("rank %d: late sender %d -> %d (tag %d): wait %.3fs\n",
+				w.Recver, w.Sender, w.Recver, w.Tag, w.WaitTime)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// Microbenchmarks of the library itself on the real file system, plus
+// ablations of the design choices DESIGN.md calls out (chunk headers,
+// physical-file counts, compression).
+
+func benchmarkParallelWrite(b *testing.B, ntasks, nfiles int, chunk int64, hdrs bool) {
+	b.Helper()
+	fsys := fsio.NewOS(b.TempDir())
+	payload := rankPayload(1, int(chunk))
+	b.SetBytes(int64(ntasks) * chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("bench-%d.sion", i)
+		mpi.Run(ntasks, func(c *mpi.Comm) {
+			f, err := ParOpen(c, fsys, name, WriteMode, &Options{
+				ChunkSize: chunk, NFiles: nfiles, ChunkHeaders: hdrs, FSBlockSize: 4096,
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			f.Write(payload)
+			f.Close()
+		})
+	}
+}
+
+func BenchmarkParallelWrite8Tasks1File(b *testing.B) {
+	benchmarkParallelWrite(b, 8, 1, 64<<10, false)
+}
+
+func BenchmarkParallelWrite8Tasks4Files(b *testing.B) {
+	benchmarkParallelWrite(b, 8, 4, 64<<10, false)
+}
+
+// Ablation: per-chunk headers buy recoverability for a small write cost.
+func BenchmarkParallelWriteChunkHeaders(b *testing.B) {
+	benchmarkParallelWrite(b, 8, 1, 64<<10, true)
+}
+
+func BenchmarkParallelRead8Tasks(b *testing.B) {
+	fsys := fsio.NewOS(b.TempDir())
+	const chunk = 64 << 10
+	payload := rankPayload(1, chunk)
+	mpi.Run(8, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "r.sion", WriteMode, &Options{ChunkSize: chunk, FSBlockSize: 4096})
+		f.Write(payload)
+		f.Close()
+	})
+	b.SetBytes(8 * chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mpi.Run(8, func(c *mpi.Comm) {
+			f, err := ParOpen(c, fsys, "r.sion", ReadMode, nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			buf := make([]byte, chunk)
+			io.ReadFull(f, buf)
+			f.Close()
+		})
+	}
+}
+
+func BenchmarkSerialRankRead(b *testing.B) {
+	fsys := fsio.NewOS(b.TempDir())
+	const chunk = 256 << 10
+	mpi.Run(4, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "sr.sion", WriteMode, &Options{ChunkSize: chunk, FSBlockSize: 4096})
+		f.Write(rankPayload(c.Rank(), chunk))
+		f.Close()
+	})
+	buf := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := OpenRank(fsys, "sr.sion", i%4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.ReadFull(f, buf)
+		f.Close()
+	}
+}
+
+// Ablation: zlib-compressed logical streams vs raw.
+func BenchmarkZlibWrite(b *testing.B) {
+	fsys := fsio.NewOS(b.TempDir())
+	payload := rankPayload(7, 256<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("z-%d.sion", i)
+		mpi.Run(1, func(c *mpi.Comm) {
+			f, _ := ParOpen(c, fsys, name, WriteMode, &Options{ChunkSize: 512 << 10, FSBlockSize: 4096})
+			zw, _ := NewZWriter(f)
+			zw.Write(payload)
+			zw.Close()
+			f.Close()
+		})
+	}
+}
+
+func BenchmarkHeaderEncodeParse(b *testing.B) {
+	fsys := fsio.NewOS(b.TempDir())
+	h := &header{
+		FSBlockSize: 4096, NTasksGlobal: 1024, NTasksLocal: 1024, NFiles: 1,
+		GlobalRanks: make([]int64, 1024), ChunkSizes: make([]int64, 1024),
+		Mapping: make([]FileLoc, 1024),
+	}
+	for i := range h.ChunkSizes {
+		h.ChunkSizes[i] = 4096
+		h.GlobalRanks[i] = int64(i)
+		h.Mapping[i] = FileLoc{0, int32(i)}
+	}
+	fh, _ := fsys.Create("h.bin")
+	defer fh.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fh.WriteAt(h.encode(), 0)
+		if _, err := parseHeader(fh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

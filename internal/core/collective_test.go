@@ -1,0 +1,133 @@
+package sion
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+func TestCollectiveWriteRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ n, group, nfiles int }{
+		{8, 4, 1}, {8, 3, 1}, {9, 4, 2}, {6, 6, 1}, {5, 2, 1},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n=%d g=%d files=%d", cfg.n, cfg.group, cfg.nfiles), func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			mpi.Run(cfg.n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "coll.sion", WriteMode, &Options{
+					ChunkSize: 300, FSBlockSize: 256,
+					NFiles: cfg.nfiles, CollectorGroup: cfg.group,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Multi-piece writes spanning several chunks.
+				payload := rankPayload(c.Rank(), 1000+31*c.Rank())
+				for off := 0; off < len(payload); off += 333 {
+					end := off + 333
+					if end > len(payload) {
+						end = len(payload)
+					}
+					if _, err := f.Write(payload[off:end]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+
+				r, err := ParOpen(c, fsys, "coll.sion", ReadMode, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, len(payload))
+				if _, err := io.ReadFull(r, got); err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("rank %d: collective round-trip mismatch", c.Rank())
+				}
+				r.Close()
+			})
+			// The collective multifile must be structurally identical to a
+			// directly written one.
+			if err := Verify(fsys, "coll.sion"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// A multifile written collectively must be byte-identical to the same data
+// written directly.
+func TestCollectiveEquivalentToDirect(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 6
+	write := func(name string, group int) {
+		mpi.Run(n, func(c *mpi.Comm) {
+			f, err := ParOpen(c, fsys, name, WriteMode, &Options{
+				ChunkSize: 200, FSBlockSize: 128, CollectorGroup: group,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Write(rankPayload(c.Rank(), 500))
+			f.Close()
+		})
+	}
+	write("direct.sion", 0)
+	write("coll.sion", 3)
+	a, _ := fsys.Open("direct.sion")
+	b, _ := fsys.Open("coll.sion")
+	defer a.Close()
+	defer b.Close()
+	sa, _ := a.Size()
+	sb, _ := b.Size()
+	if sa != sb {
+		t.Fatalf("sizes differ: %d vs %d", sa, sb)
+	}
+	ba, bb := make([]byte, sa), make([]byte, sb)
+	a.ReadAt(ba, 0)
+	b.ReadAt(bb, 0)
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("collective and direct multifiles differ byte-wise")
+	}
+}
+
+func TestCollectiveRejectsChunkHeaders(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		_, err := ParOpen(c, fsys, "x.sion", WriteMode, &Options{
+			ChunkSize: 64, FSBlockSize: 64, CollectorGroup: 2, ChunkHeaders: true,
+		})
+		if err == nil {
+			t.Error("CollectorGroup+ChunkHeaders accepted")
+		}
+	})
+}
+
+func TestCollectiveSyntheticUnsupported(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "y.sion", WriteMode, &Options{
+			ChunkSize: 64, FSBlockSize: 64, CollectorGroup: 2,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.WriteSynthetic(10); err == nil {
+			t.Error("WriteSynthetic in collective mode accepted")
+		}
+		f.Close()
+	})
+}

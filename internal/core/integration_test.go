@@ -1,0 +1,155 @@
+package sion
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simfs"
+	"repro/internal/vtime"
+)
+
+// End-to-end workflow on the simulated parallel file system at moderate
+// scale: parallel write → verify → dump → split → defrag → parallel read,
+// crossing core × simfs × mpi in one scenario (the paper's full tool
+// chain).
+func TestWorkflowOnSimulatedFS(t *testing.T) {
+	const (
+		ntasks = 512
+		nfiles = 8
+	)
+	fs := simfs.New(simfs.Jugene())
+	e := vtime.NewEngine()
+	var writeTime float64
+	mpi.RunSim(e, ntasks, mpi.DefaultCost, func(c *mpi.Comm) {
+		v := fs.View(c.Rank(), c.Proc())
+		f, err := ParOpen(c, v, "wf/data.sion", WriteMode, &Options{
+			ChunkSize: 4096, NFiles: nfiles, ChunkHeaders: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Several blocks per task, different sizes per rank.
+		payload := rankPayload(c.Rank(), 6000+13*c.Rank())
+		if _, err := f.Write(payload); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+		if c.Rank() == 0 {
+			writeTime = c.Now()
+		}
+	})
+	if writeTime <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+
+	// Serial tools run offline against the same simulated FS.
+	serial := fs.View(0, nil)
+	if err := Verify(serial, "wf/data.sion"); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var dump bytes.Buffer
+	if err := Dump(serial, "wf/data.sion", &dump); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if !bytes.Contains(dump.Bytes(), []byte(fmt.Sprintf("tasks:         %d", ntasks))) {
+		t.Fatalf("dump lacks task count:\n%s", dump.String())
+	}
+
+	if err := Split(serial, "wf/data.sion", serial, "wf/x-%d", []int{0, 100, 511}); err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	fh, err := serial.Open("wf/x-511")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rankPayload(511, 6000+13*511)
+	got := make([]byte, len(want))
+	fh.ReadAt(got, 0)
+	fh.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatal("split output mismatch on simulated FS")
+	}
+
+	if err := Defrag(serial, "wf/data.sion", serial, "wf/tight.sion"); err != nil {
+		t.Fatalf("defrag: %v", err)
+	}
+	if err := Verify(serial, "wf/tight.sion"); err != nil {
+		t.Fatalf("verify after defrag: %v", err)
+	}
+
+	// Parallel read of the defragmented multifile under a fresh engine.
+	e2 := vtime.NewEngine()
+	mpi.RunSim(e2, ntasks, mpi.DefaultCost, func(c *mpi.Comm) {
+		v := fs.View(c.Rank(), c.Proc())
+		r, err := ParOpen(c, v, "wf/tight.sion", ReadMode, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := rankPayload(c.Rank(), 6000+13*c.Rank())
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(r, got); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: defragged content mismatch", c.Rank())
+		}
+		r.Close()
+	})
+}
+
+// The gap behaviour the paper describes (§3.1): when only a subset of
+// tasks allocates additional blocks, the holes stay logical — the
+// simulated FS must account far less physical space than the file size.
+func TestGapsStayLogical(t *testing.T) {
+	const ntasks = 64
+	fs := simfs.New(simfs.Jugene())
+	e := vtime.NewEngine()
+	mpi.RunSim(e, ntasks, mpi.DefaultCost, func(c *mpi.Comm) {
+		v := fs.View(c.Rank(), c.Proc())
+		f, err := ParOpen(c, v, "g/gaps.sion", WriteMode, &Options{ChunkSize: 1 << 20})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Only task 0 spills into many extra blocks.
+		n := int64(1 << 20)
+		if c.Rank() == 0 {
+			n = 10 << 20
+		}
+		if err := f.WriteSynthetic(n); err != nil {
+			t.Error(err)
+		}
+		f.Close()
+	})
+	serial := fs.View(0, nil)
+	info, err := serial.Stat("g/gaps.sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := fs.UsedBytes()
+	// File size spans 10 blocks of 64 chunks; allocation is ~73 MB
+	// (64 + 9 chunks) while the logical size is ~640 MB.
+	if alloc >= info.Size/4 {
+		t.Fatalf("gaps materialized: allocated %d of logical %d", alloc, info.Size)
+	}
+
+	// Defragmentation removes the gaps: the new multifile's logical size
+	// shrinks to roughly the allocated data.
+	if err := Defrag(serial, "g/gaps.sion", serial, "g/tight.sion"); err != nil {
+		t.Fatal(err)
+	}
+	tightInfo, err := serial.Stat("g/tight.sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tightInfo.Size >= info.Size/4 {
+		t.Fatalf("defrag left gaps: %d vs original %d", tightInfo.Size, info.Size)
+	}
+}

@@ -1,0 +1,104 @@
+package sion
+
+import "fmt"
+
+// Mode selects the access mode of a multifile handle.
+type Mode int
+
+// Access modes.
+const (
+	WriteMode Mode = iota
+	ReadMode
+)
+
+func (m Mode) String() string {
+	switch m {
+	case WriteMode:
+		return "write"
+	case ReadMode:
+		return "read"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// MapFunc assigns a global task to a physical file (0 ≤ result < nfiles).
+// The paper (§3.1) lets users influence the mapping, e.g. one physical
+// file per I/O node on Blue Gene.
+type MapFunc func(globalRank, ntasks, nfiles int) int
+
+// ContiguousMap is the default task→file mapping: equal consecutive
+// blocks of tasks per physical file.
+func ContiguousMap(globalRank, ntasks, nfiles int) int {
+	return globalRank * nfiles / ntasks
+}
+
+// RoundRobinMap spreads consecutive tasks over distinct files.
+func RoundRobinMap(globalRank, ntasks, nfiles int) int {
+	return globalRank % nfiles
+}
+
+// Options configures ParOpen (write mode) and the serial Create.
+type Options struct {
+	// ChunkSize is the maximum number of bytes this task writes in one
+	// piece (paper §3.1). It may differ between tasks. Required in write
+	// mode; SIONlib rounds the allocation up to a multiple of the FS
+	// block size.
+	ChunkSize int64
+
+	// FSBlockSize overrides the auto-detected file-system block size
+	// (0 = detect via the file system, like SIONlib's fstat call).
+	// The alignment experiments (Table 1) set this explicitly.
+	FSBlockSize int64
+
+	// NFiles is the number of underlying physical files (default 1).
+	NFiles int
+
+	// MaxChunks is an informational hint for the expected number of
+	// chunks per task (stored in the header).
+	MaxChunks int
+
+	// Mapping assigns tasks to physical files (default ContiguousMap).
+	Mapping MapFunc
+
+	// ChunkHeaders embeds a self-describing header in every chunk so
+	// that metadata can be reconstructed by Repair after a failure
+	// (paper §6 future work). Incompatible with CollectorGroup.
+	ChunkHeaders bool
+
+	// CollectorGroup enables collective write mode (SIONlib's
+	// sion_coll_fwrite): groups of this many consecutive local tasks
+	// buffer their data and ship it to the group's first member at close,
+	// so only the collectors issue file writes. 0 or 1 disables.
+	CollectorGroup int
+}
+
+func (o *Options) withDefaults(ntasks int) (Options, error) {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.NFiles <= 0 {
+		out.NFiles = 1
+	}
+	if out.NFiles > ntasks {
+		out.NFiles = ntasks
+	}
+	if out.Mapping == nil {
+		out.Mapping = ContiguousMap
+	}
+	if out.MaxChunks < 0 {
+		return out, fmt.Errorf("sion: negative MaxChunks %d", out.MaxChunks)
+	}
+	if out.CollectorGroup > 1 && out.ChunkHeaders {
+		return out, fmt.Errorf("sion: CollectorGroup and ChunkHeaders are mutually exclusive (collectors cannot attribute chunk headers)")
+	}
+	return out, nil
+}
+
+func (o *Options) flags() uint64 {
+	var f uint64
+	if o.ChunkHeaders {
+		f |= flagChunkHeaders
+	}
+	return f
+}

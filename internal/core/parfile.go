@@ -1,0 +1,696 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// Message tag used to forward the global mapping from world rank 0 to the
+// master of physical file 0 when they differ (custom mappings).
+const tagMapping = 4097
+
+// File is a handle to one task's logical task-local file inside a
+// multifile. In parallel mode it is obtained collectively from ParOpen;
+// OpenRank returns the same type for serial task-local access
+// (paper Listing 4).
+//
+// File implements io.Reader and io.Writer over the logical file: Write
+// corresponds to sion_fwrite (it transparently spans chunk boundaries) and
+// Read to sion_fread. For ANSI-C-style access within one chunk, use
+// EnsureFreeSpace/BytesAvailInChunk and the same Write/Read calls.
+type File struct {
+	fsys fsio.FileSystem
+	fh   fsio.File
+	name string // logical multifile name (not the physical segment name)
+	mode Mode
+
+	comm  *mpi.Comm // global communicator (nil for serial OpenRank)
+	lcomm *mpi.Comm // tasks sharing this physical file (nil for serial)
+
+	geo       geometry
+	local     int // local rank within the physical file
+	global    int // global task rank
+	filenum   int
+	nfiles    int
+	fsblk     int64
+	requested int64 // requested chunk size
+	chunkHdrs bool
+	closed    bool
+
+	// Write state.
+	curBlock   int
+	pos        int64   // position within the current chunk's data area
+	blockBytes []int64 // bytes written per block (index ≤ curBlock)
+
+	// Read state.
+	readBytes []int64 // bytes available per block (from metablock 2)
+
+	// Collective write mode (see collective.go); nil = direct writes.
+	coll *collState
+}
+
+var (
+	_ io.Writer = (*File)(nil)
+	_ io.Reader = (*File)(nil)
+)
+
+// ParOpen collectively opens a multifile for parallel access
+// (sion_paropen_mpi). Every task of comm must call it with the same name
+// and mode; fsys is the task's file-system binding. In write mode,
+// opts.ChunkSize is the maximum number of bytes the calling task writes in
+// one piece (it may differ between tasks). In read mode opts may be nil;
+// geometry and task placement are recovered from the multifile metadata.
+func ParOpen(comm *mpi.Comm, fsys fsio.FileSystem, name string, mode Mode, opts *Options) (*File, error) {
+	switch mode {
+	case WriteMode:
+		return parOpenWrite(comm, fsys, name, opts)
+	case ReadMode:
+		return parOpenRead(comm, fsys, name)
+	default:
+		return nil, fmt.Errorf("sion: ParOpen %s: unsupported mode %v", name, mode)
+	}
+}
+
+func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Options) (*File, error) {
+	o, err := opts.withDefaults(comm.Size())
+	if err != nil {
+		return nil, err
+	}
+
+	// Determine the FS block size once and share it (SIONlib: fstat on
+	// the target file system, paper §3.1).
+	var fsblk int64
+	if comm.Rank() == 0 {
+		fsblk = o.FSBlockSize
+		if fsblk <= 0 {
+			fsblk = fsys.BlockSize(name)
+		}
+	}
+	fsblk = comm.BcastInt64s(0, []int64{fsblk})[0]
+	if fsblk <= 0 {
+		return nil, fmt.Errorf("sion: ParOpen %s: bad FS block size %d", name, fsblk)
+	}
+
+	// Task → physical file assignment and the per-file sub-communicator
+	// (the paper's lcom, §3.2.1).
+	filenum := o.Mapping(comm.Rank(), comm.Size(), o.NFiles)
+	if filenum < 0 || filenum >= o.NFiles {
+		filenum = 0 // collective safety: a broken MapFunc must not deadlock
+	}
+	lcomm := comm.Split(filenum, comm.Rank())
+
+	// Collect the global mapping at world rank 0 and forward it to the
+	// master of physical file 0, which stores it in its header.
+	mapEnc := comm.GatherInt64Slice(0, []int64{int64(filenum), int64(lcomm.Rank())})
+	var mapping []FileLoc
+	file0Master := 0
+	if comm.Rank() == 0 {
+		mapping = make([]FileLoc, comm.Size())
+		for r, fl := range mapEnc {
+			mapping[r] = FileLoc{File: int32(fl[0]), LocalRank: int32(fl[1])}
+			if fl[0] == 0 && fl[1] == 0 {
+				file0Master = r
+			}
+		}
+	}
+	isFile0Master := filenum == 0 && lcomm.Rank() == 0
+	if comm.Rank() == 0 && file0Master != 0 {
+		comm.Send(file0Master, tagMapping, encodeMapping(mapping))
+		mapping = nil
+	}
+	if isFile0Master && comm.Rank() != 0 {
+		mapping = decodeMapping(comm.Recv(0, tagMapping))
+	}
+
+	// Local master gathers requested chunk sizes (paper §3.1: "all tasks
+	// send their requested chunk size to a master task").
+	sizes := lcomm.GatherInt64Slice(0, []int64{int64(comm.Rank()), o.ChunkSize})
+
+	f := &File{
+		fsys: fsys, name: name, mode: WriteMode,
+		comm: comm, lcomm: lcomm,
+		local: lcomm.Rank(), global: comm.Rank(),
+		filenum: filenum, nfiles: o.NFiles, fsblk: fsblk,
+		requested: o.ChunkSize, chunkHdrs: o.ChunkHeaders,
+	}
+
+	// The master creates the physical file, writes metablock 1, and
+	// scatters each task's chunk address (paper §3.1).
+	physName := fileName(name, filenum)
+	var geos [][]int64
+	status := int64(0)
+	if f.local == 0 {
+		h := &header{
+			FSBlockSize:  fsblk,
+			NTasksGlobal: int32(comm.Size()),
+			NTasksLocal:  int32(lcomm.Size()),
+			NFiles:       int32(o.NFiles),
+			FileNum:      int32(filenum),
+			Flags:        o.flags(),
+			MaxChunks:    int32(o.MaxChunks),
+			GlobalRanks:  make([]int64, lcomm.Size()),
+			ChunkSizes:   make([]int64, lcomm.Size()),
+			Mapping:      mapping,
+		}
+		for i, gs := range sizes {
+			h.GlobalRanks[i] = gs[0]
+			h.ChunkSizes[i] = gs[1]
+			if gs[1] <= 0 {
+				status = 1
+			}
+		}
+		var fh fsio.File
+		if status == 0 {
+			fh, err = fsys.Create(physName)
+			if err != nil {
+				status = 2
+			} else if _, werr := fh.WriteAt(h.encode(), 0); werr != nil {
+				status = 3
+				fh.Close()
+			}
+		}
+		if status == 0 {
+			f.fh = fh
+			f.geo = newGeometry(h)
+			geos = make([][]int64, lcomm.Size())
+			for i := range geos {
+				geos[i] = []int64{
+					status,
+					f.geo.start,
+					f.geo.stride,
+					f.geo.aligned[i],
+					f.geo.prefix[i],
+				}
+			}
+		} else {
+			geos = make([][]int64, lcomm.Size())
+			for i := range geos {
+				geos[i] = []int64{status, 0, 0, 0, 0}
+			}
+		}
+	}
+	mine := lcomm.ScatterInt64Slice(0, geos)
+	if mine[0] != 0 {
+		if f.fh != nil {
+			f.fh.Close()
+		}
+		return nil, fmt.Errorf("sion: ParOpen %s for write failed (status %d; invalid chunk size or create error)", name, mine[0])
+	}
+	if f.local != 0 {
+		// Non-masters keep a single-entry geometry view (index 0); the
+		// master holds the full per-task table, in which its own chunk is
+		// also entry 0 (the master is always local rank 0).
+		f.geo = geometry{
+			fsblk:   fsblk,
+			start:   mine[1],
+			stride:  mine[2],
+			aligned: []int64{mine[3]},
+			prefix:  []int64{mine[4]},
+			headers: o.ChunkHeaders,
+		}
+		fh, err := fsys.OpenRW(physName)
+		if err != nil {
+			return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
+		}
+		f.fh = fh
+	}
+	f.blockBytes = []int64{0}
+	if err := f.enterBlock(0); err != nil {
+		return nil, err
+	}
+	f.initCollective(o.CollectorGroup)
+	return f, nil
+}
+
+// geoIndex is the index of this task's chunk in its geometry tables.
+// It is always 0: non-masters and serial rank handles carry single-entry
+// views, and the write-mode master (local rank 0) is entry 0 of the full
+// table it keeps for writing metablock 2.
+const geoIndex = 0
+
+func encodeMapping(m []FileLoc) []byte {
+	buf := make([]byte, 8*len(m))
+	for i, fl := range m {
+		le().PutUint32(buf[8*i:], uint32(fl.File))
+		le().PutUint32(buf[8*i+4:], uint32(fl.LocalRank))
+	}
+	return buf
+}
+
+func decodeMapping(buf []byte) []FileLoc {
+	m := make([]FileLoc, len(buf)/8)
+	for i := range m {
+		m[i] = FileLoc{
+			File:      int32(le().Uint32(buf[8*i:])),
+			LocalRank: int32(le().Uint32(buf[8*i+4:])),
+		}
+	}
+	return m
+}
+
+func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string) (*File, error) {
+	// World rank 0 reads file 0's header to learn the task placement.
+	var placements [][]int64
+	status := int64(0)
+	var nfilesBC, fsblkBC, flagsBC int64
+	if comm.Rank() == 0 {
+		fh, err := fsys.Open(fileName(name, 0))
+		if err != nil {
+			status = 1
+		} else {
+			h, perr := parseHeader(fh)
+			fh.Close()
+			switch {
+			case perr != nil:
+				status = 2
+			case int(h.NTasksGlobal) != comm.Size():
+				status = 3
+			default:
+				nfilesBC = int64(h.NFiles)
+				fsblkBC = h.FSBlockSize
+				flagsBC = int64(h.Flags)
+				placements = make([][]int64, comm.Size())
+				for r := range placements {
+					placements[r] = []int64{status, int64(h.Mapping[r].File), int64(h.Mapping[r].LocalRank), nfilesBC, fsblkBC, flagsBC}
+				}
+			}
+		}
+		if status != 0 {
+			placements = make([][]int64, comm.Size())
+			for r := range placements {
+				placements[r] = []int64{status, 0, 0, 0, 0, 0}
+			}
+		}
+	}
+	place := comm.ScatterInt64Slice(0, placements)
+	if place[0] != 0 {
+		return nil, fmt.Errorf("sion: ParOpen %s for read failed (status %d: missing file, corrupt header, or task-count mismatch)", name, place[0])
+	}
+	filenum, localrank := int(place[1]), int(place[2])
+	nfiles, fsblk, flags := int(place[3]), place[4], uint64(place[5])
+
+	lcomm := comm.Split(filenum, localrank)
+
+	f := &File{
+		fsys: fsys, name: name, mode: ReadMode,
+		comm: comm, lcomm: lcomm,
+		local: lcomm.Rank(), global: comm.Rank(),
+		filenum: filenum, nfiles: nfiles, fsblk: fsblk,
+		chunkHdrs: flags&flagChunkHeaders != 0,
+	}
+
+	// Each file's master parses its metadata and scatters per-task
+	// geometry plus the per-block byte counts from metablock 2.
+	physName := fileName(name, filenum)
+	var infos [][]int64
+	lstatus := int64(0)
+	if f.local == 0 {
+		fh, err := fsys.Open(physName)
+		var h *header
+		var m2 *meta2
+		if err != nil {
+			lstatus = 4
+		} else {
+			if h, err = parseHeader(fh); err != nil {
+				lstatus = 5
+			} else if m2, err = readTail(fh, int(h.NTasksLocal)); err != nil {
+				lstatus = 6
+			}
+			fh.Close()
+		}
+		infos = make([][]int64, lcomm.Size())
+		if lstatus == 0 {
+			if int(h.NTasksLocal) != lcomm.Size() {
+				lstatus = 7
+			}
+		}
+		for i := range infos {
+			if lstatus != 0 {
+				infos[i] = []int64{lstatus, 0, 0, 0, 0, 0}
+				continue
+			}
+			g := newGeometry(h)
+			rec := []int64{0, g.start, g.stride, g.aligned[i], g.prefix[i], h.ChunkSizes[i]}
+			rec = append(rec, m2.BlockBytes[i]...)
+			infos[i] = rec
+		}
+	}
+	mine := lcomm.ScatterInt64Slice(0, infos)
+	if mine[0] != 0 {
+		return nil, fmt.Errorf("sion: ParOpen %s for read failed (status %d: metadata error in %s)", name, mine[0], physName)
+	}
+	f.geo = geometry{
+		fsblk:   fsblk,
+		start:   mine[1],
+		stride:  mine[2],
+		aligned: []int64{mine[3]},
+		prefix:  []int64{mine[4]},
+		headers: f.chunkHdrs,
+	}
+	f.requested = mine[5]
+	f.readBytes = append([]int64(nil), mine[6:]...)
+	fh, err := fsys.Open(physName)
+	if err != nil {
+		return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
+	}
+	f.fh = fh
+	return f, nil
+}
+
+// --- Accessors -------------------------------------------------------------
+
+// GlobalRank returns the task's rank in the global communicator
+// (or the rank passed to OpenRank).
+func (f *File) GlobalRank() int { return f.global }
+
+// PhysicalFile returns the index of the physical file holding this task.
+func (f *File) PhysicalFile() int { return f.filenum }
+
+// NumFiles returns the number of physical files of the multifile.
+func (f *File) NumFiles() int { return f.nfiles }
+
+// FSBlockSize returns the block size chunks are aligned to.
+func (f *File) FSBlockSize() int64 { return f.fsblk }
+
+// ChunkCapacity returns the usable bytes per chunk for this task.
+func (f *File) ChunkCapacity() int64 { return f.geo.capacity(geoIndex) }
+
+// Blocks returns the number of blocks this task has data in (read mode)
+// or has started (write mode).
+func (f *File) Blocks() int {
+	if f.mode == ReadMode {
+		return len(f.readBytes)
+	}
+	return len(f.blockBytes)
+}
+
+// --- Write path -------------------------------------------------------------
+
+func (f *File) checkOpen(want Mode) error {
+	if f.closed {
+		return fmt.Errorf("sion: %s: handle is closed", f.name)
+	}
+	if f.mode != want {
+		return fmt.Errorf("sion: %s: operation requires %s mode, handle is %s", f.name, want, f.mode)
+	}
+	return nil
+}
+
+// EnsureFreeSpace guarantees that n bytes fit into the current chunk,
+// allocating a new chunk (block) if necessary (sion_ensure_free_space).
+// n must not exceed the chunk capacity; use Write for larger records.
+func (f *File) EnsureFreeSpace(n int64) error {
+	if err := f.checkOpen(WriteMode); err != nil {
+		return err
+	}
+	cap := f.ChunkCapacity()
+	if n < 0 || n > cap {
+		return fmt.Errorf("sion: %s: EnsureFreeSpace(%d) exceeds chunk capacity %d (use Write to span chunks)", f.name, n, cap)
+	}
+	if f.pos+n > cap {
+		if err := f.advanceBlock(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BytesAvailInChunk reports the bytes left in the current chunk
+// (sion_bytes_avail_in_chunk): write mode counts remaining capacity, read
+// mode counts unread bytes recorded in the metadata.
+func (f *File) BytesAvailInChunk() int64 {
+	if f.mode == WriteMode {
+		return f.ChunkCapacity() - f.pos
+	}
+	if f.curBlock >= len(f.readBytes) {
+		return 0
+	}
+	return f.readBytes[f.curBlock] - f.pos
+}
+
+// Write appends p to the task's logical file, transparently splitting the
+// data across chunk boundaries (sion_fwrite).
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.checkOpen(WriteMode); err != nil {
+		return 0, err
+	}
+	if f.collectiveEnabled() {
+		return f.collWrite(p)
+	}
+	total := 0
+	for len(p) > 0 {
+		avail := f.ChunkCapacity() - f.pos
+		if avail == 0 {
+			if err := f.advanceBlock(); err != nil {
+				return total, err
+			}
+			avail = f.ChunkCapacity()
+		}
+		w := int64(len(p))
+		if w > avail {
+			w = avail
+		}
+		off := f.dataOff() + f.pos
+		if _, err := f.fh.WriteAt(p[:w], off); err != nil {
+			return total, fmt.Errorf("sion: %s: chunk write: %w", f.name, err)
+		}
+		f.pos += w
+		f.blockBytes[f.curBlock] = f.pos
+		total += int(w)
+		p = p[w:]
+	}
+	return total, nil
+}
+
+// WriteSynthetic writes n synthetic zero bytes through the identical chunk
+// logic (used by the at-scale benchmark harness; see fsio.File).
+func (f *File) WriteSynthetic(n int64) error {
+	if err := f.checkOpen(WriteMode); err != nil {
+		return err
+	}
+	if f.collectiveEnabled() {
+		return fmt.Errorf("sion: %s: WriteSynthetic is unsupported in collective mode", f.name)
+	}
+	for n > 0 {
+		avail := f.ChunkCapacity() - f.pos
+		if avail == 0 {
+			if err := f.advanceBlock(); err != nil {
+				return err
+			}
+			avail = f.ChunkCapacity()
+		}
+		w := n
+		if w > avail {
+			w = avail
+		}
+		if err := f.fh.WriteZeroAt(w, f.dataOff()+f.pos); err != nil {
+			return fmt.Errorf("sion: %s: chunk write: %w", f.name, err)
+		}
+		f.pos += w
+		f.blockBytes[f.curBlock] = f.pos
+		n -= w
+	}
+	return nil
+}
+
+// dataOff returns the file offset of the current position's chunk data.
+func (f *File) dataOff() int64 { return f.geo.dataOff(geoIndex, f.curBlock) }
+
+// enterBlock initializes the chunk of block b (writes the open chunk
+// header when enabled).
+func (f *File) enterBlock(b int) error {
+	f.curBlock = b
+	f.pos = 0
+	if !f.chunkHdrs || f.mode != WriteMode {
+		return nil
+	}
+	ch := chunkHeader{GlobalRank: int64(f.global), Block: int64(b), Bytes: -1}
+	if _, err := f.fh.WriteAt(ch.encode(), f.geo.chunkOff(geoIndex, b)); err != nil {
+		return fmt.Errorf("sion: %s: chunk header: %w", f.name, err)
+	}
+	return nil
+}
+
+// sealBlock finalizes block b's chunk header with the written byte count.
+func (f *File) sealBlock(b int, bytes int64) error {
+	if !f.chunkHdrs {
+		return nil
+	}
+	ch := chunkHeader{GlobalRank: int64(f.global), Block: int64(b), Bytes: bytes}
+	if _, err := f.fh.WriteAt(ch.encode(), f.geo.chunkOff(geoIndex, b)); err != nil {
+		return fmt.Errorf("sion: %s: sealing chunk header: %w", f.name, err)
+	}
+	return nil
+}
+
+// advanceBlock moves the task to its chunk in the next block (paper §3.1:
+// "if a task wants to write more bytes than left in the current chunk, it
+// can request a new chunk of the same size" — a whole new block is
+// allocated logically; unused chunks remain file-system holes).
+func (f *File) advanceBlock() error {
+	if err := f.sealBlock(f.curBlock, f.pos); err != nil {
+		return err
+	}
+	f.blockBytes[f.curBlock] = f.pos
+	f.blockBytes = append(f.blockBytes, 0)
+	return f.enterBlock(f.curBlock + 1)
+}
+
+// --- Read path --------------------------------------------------------------
+
+// Read fills p from the task's logical file, transparently continuing into
+// subsequent chunks (sion_fread). It returns io.EOF after the last byte.
+func (f *File) Read(p []byte) (int, error) {
+	if err := f.checkOpen(ReadMode); err != nil {
+		return 0, err
+	}
+	total := 0
+	for len(p) > 0 {
+		if f.curBlock >= len(f.readBytes) {
+			break
+		}
+		avail := f.readBytes[f.curBlock] - f.pos
+		if avail == 0 {
+			f.curBlock++
+			f.pos = 0
+			continue
+		}
+		r := int64(len(p))
+		if r > avail {
+			r = avail
+		}
+		if _, err := f.fh.ReadAt(p[:r], f.dataOff()+f.pos); err != nil && err != io.EOF {
+			return total, fmt.Errorf("sion: %s: chunk read: %w", f.name, err)
+		}
+		f.pos += r
+		total += int(r)
+		p = p[r:]
+	}
+	if total == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return total, nil
+}
+
+// ReadSynthetic consumes n logical bytes without materializing them,
+// returning the count actually consumed (benchmark path).
+func (f *File) ReadSynthetic(n int64) (int64, error) {
+	if err := f.checkOpen(ReadMode); err != nil {
+		return 0, err
+	}
+	var total int64
+	for n > 0 {
+		if f.curBlock >= len(f.readBytes) {
+			break
+		}
+		avail := f.readBytes[f.curBlock] - f.pos
+		if avail == 0 {
+			f.curBlock++
+			f.pos = 0
+			continue
+		}
+		r := n
+		if r > avail {
+			r = avail
+		}
+		if _, err := f.fh.ReadDiscardAt(r, f.dataOff()+f.pos); err != nil {
+			return total, err
+		}
+		f.pos += r
+		total += r
+		n -= r
+	}
+	return total, nil
+}
+
+// EOF reports whether the task's logical file is exhausted (sion_feof).
+// Like sion_feof, it advances the cursor to the next non-empty chunk when
+// the current one is used up, so a subsequent BytesAvailInChunk reports
+// the new chunk's content (paper Listing 2's read loop).
+func (f *File) EOF() bool {
+	if f.mode != ReadMode {
+		return false
+	}
+	for f.curBlock < len(f.readBytes) {
+		if f.pos < f.readBytes[f.curBlock] {
+			return false
+		}
+		f.curBlock++
+		f.pos = 0
+	}
+	return true
+}
+
+// Seek positions the read cursor at (block, pos) within this task's
+// logical file.
+func (f *File) Seek(block int, pos int64) error {
+	if err := f.checkOpen(ReadMode); err != nil {
+		return err
+	}
+	if block < 0 || block >= len(f.readBytes) || pos < 0 || pos > f.readBytes[block] {
+		return fmt.Errorf("sion: %s: Seek(%d,%d) outside recorded data", f.name, block, pos)
+	}
+	f.curBlock, f.pos = block, pos
+	return nil
+}
+
+// --- Close ------------------------------------------------------------------
+
+// Close is collective in parallel mode (sion_parclose_mpi): in write mode
+// the local master gathers every task's per-block byte counts and writes
+// metablock 2 plus the trailer (paper §3.1: "the close operation is again
+// collective to avoid the inefficiency of having all tasks write to the
+// metadata block concurrently").
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	var firstErr error
+	if f.mode == WriteMode && f.collectiveEnabled() {
+		// Ship buffered data to the collectors, which write it.
+		if err := f.collClose(); err != nil {
+			firstErr = err
+		}
+	} else if f.mode == WriteMode {
+		f.blockBytes[f.curBlock] = f.pos
+		if err := f.sealBlock(f.curBlock, f.pos); err != nil {
+			firstErr = err
+		}
+	}
+	if f.lcomm == nil { // serial OpenRank handle
+		return closeKeep(f.fh, firstErr)
+	}
+	if f.mode == WriteMode {
+		all := f.lcomm.GatherInt64Slice(0, f.blockBytes)
+		if f.lcomm.Rank() == 0 {
+			m2 := &meta2{BlockBytes: all}
+			maxBlocks := 0
+			for _, bb := range all {
+				if len(bb) > maxBlocks {
+					maxBlocks = len(bb)
+				}
+			}
+			at := f.geo.start + f.geo.stride*int64(maxBlocks)
+			if _, err := writeTail(f.fh, m2, at); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.fh.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	// Collective completion (both modes).
+	f.lcomm.Barrier()
+	return closeKeep(f.fh, firstErr)
+}
+
+func closeKeep(fh fsio.File, firstErr error) error {
+	if err := fh.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

@@ -1,0 +1,122 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fsio"
+)
+
+// Repair reconstructs metablock 2 of every physical file of a multifile
+// from the per-chunk headers and rewrites the trailer. It implements the
+// paper's §6 robustness plan: "failures, such as premature application
+// termination or file quota violation, may cause the second metadata block
+// to be lost. [...] we plan to add small pieces of metadata to each chunk
+// so that the full metadata can be restored if needed."
+//
+// The multifile must have been written with Options.ChunkHeaders. Chunks
+// whose header still carries the "open" marker (the writer crashed inside
+// the block) are recovered with the bytes that physically exist in the
+// file, bounded by the chunk capacity. Repair returns the number of chunks
+// recovered across all segments.
+func Repair(fsys fsio.FileSystem, name string) (int, error) {
+	// The first segment's header is enough to find the others.
+	fh0, err := fsys.OpenRW(fileName(name, 0))
+	if err != nil {
+		return 0, fmt.Errorf("sion: Repair %s: %w", name, err)
+	}
+	h0, err := parseHeader(fh0)
+	if err != nil {
+		fh0.Close()
+		return 0, fmt.Errorf("sion: Repair %s: %w", name, err)
+	}
+	if h0.Flags&flagChunkHeaders == 0 {
+		fh0.Close()
+		return 0, fmt.Errorf("sion: Repair %s: multifile was written without chunk headers", name)
+	}
+	total := 0
+	for k := 0; k < int(h0.NFiles); k++ {
+		var fh fsio.File
+		var h *header
+		if k == 0 {
+			fh, h = fh0, h0
+		} else {
+			if fh, err = fsys.OpenRW(fileName(name, k)); err != nil {
+				return total, fmt.Errorf("sion: Repair %s: segment %d: %w", name, k, err)
+			}
+			if h, err = parseHeader(fh); err != nil {
+				fh.Close()
+				return total, fmt.Errorf("sion: Repair %s: segment %d: %w", name, k, err)
+			}
+		}
+		n, err := repairSegment(fh, h)
+		fh.Close()
+		fh0 = nil
+		if err != nil {
+			return total, fmt.Errorf("sion: Repair %s: segment %d: %w", name, k, err)
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// repairSegment scans one physical file's chunk headers and rewrites its
+// metablock 2 and trailer.
+func repairSegment(fh fsio.File, h *header) (int, error) {
+	g := newGeometry(h)
+	size, err := fh.Size()
+	if err != nil {
+		return 0, err
+	}
+	nlocal := int(h.NTasksLocal)
+	m2 := &meta2{BlockBytes: make([][]int64, nlocal)}
+	recovered := 0
+	maxBlocks := 0
+	hdr := make([]byte, chunkHeaderSize)
+	for li := 0; li < nlocal; li++ {
+		var bb []int64
+		for b := 0; ; b++ {
+			off := g.chunkOff(li, b)
+			if off+chunkHeaderSize > size {
+				break
+			}
+			if _, err := fh.ReadAt(hdr, off); err != nil && err != io.EOF {
+				return recovered, err
+			}
+			ch, ok := parseChunkHeader(hdr)
+			if !ok || ch.GlobalRank != h.GlobalRanks[li] || ch.Block != int64(b) {
+				// No valid header: this task never entered block b.
+				break
+			}
+			bytes := ch.Bytes
+			if bytes < 0 {
+				// The writer crashed inside this block; recover what
+				// physically fits in the file.
+				bytes = size - g.dataOff(li, b)
+				if bytes < 0 {
+					bytes = 0
+				}
+				if c := g.capacity(li); bytes > c {
+					bytes = c
+				}
+			}
+			bb = append(bb, bytes)
+			recovered++
+			if len(bb) > maxBlocks {
+				maxBlocks = len(bb)
+			}
+		}
+		if len(bb) == 0 {
+			bb = []int64{0}
+			if maxBlocks == 0 {
+				maxBlocks = 1
+			}
+		}
+		m2.BlockBytes[li] = bb
+	}
+	at := g.start + g.stride*int64(maxBlocks)
+	if _, err := writeTail(fh, m2, at); err != nil {
+		return recovered, err
+	}
+	return recovered, fh.Sync()
+}

@@ -1,0 +1,516 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/fsio"
+)
+
+// SerialFile is a serial (single-process) view of a whole multifile: every
+// task's logical file is addressable through Seek (paper §3.2.3/§3.2.4,
+// Listings 3 and 5). It is the foundation of the command-line utilities
+// and of postprocessing tools such as trace analyzers.
+type SerialFile struct {
+	fsys    fsio.FileSystem
+	name    string
+	mode    Mode
+	ntasks  int
+	nfiles  int
+	fsblk   int64
+	flags   uint64
+	mapping []FileLoc
+	files   []*physFile
+	closed  bool
+
+	// Cursor state (Seek/Read/Write).
+	curRank  int
+	curBlock int
+	curPos   int64
+
+	// Write mode: per global rank, per block: high-water byte counts.
+	written [][]int64
+}
+
+// physFile is one physical file of the multifile in serial view.
+type physFile struct {
+	fh  fsio.File
+	h   *header
+	geo geometry
+	m2  *meta2 // read mode only
+}
+
+// Create opens a multifile for serial writing (paper Listing 3: the serial
+// open call receives the whole array of chunk sizes, one per task).
+func Create(fsys fsio.FileSystem, name string, chunkSizes []int64, opts *Options) (*SerialFile, error) {
+	if len(chunkSizes) == 0 {
+		return nil, fmt.Errorf("sion: Create %s: no chunk sizes", name)
+	}
+	for i, cs := range chunkSizes {
+		if cs <= 0 {
+			return nil, fmt.Errorf("sion: Create %s: chunk size %d for task %d", name, cs, i)
+		}
+	}
+	o, err := opts.withDefaults(len(chunkSizes))
+	if err != nil {
+		return nil, err
+	}
+	fsblk := o.FSBlockSize
+	if fsblk <= 0 {
+		fsblk = fsys.BlockSize(name)
+	}
+	ntasks := len(chunkSizes)
+
+	// Place each task, grouping local ranks in global-rank order per file.
+	mapping := make([]FileLoc, ntasks)
+	counts := make([]int32, o.NFiles)
+	for r := range mapping {
+		fn := o.Mapping(r, ntasks, o.NFiles)
+		if fn < 0 || fn >= o.NFiles {
+			return nil, fmt.Errorf("sion: Create %s: mapping sent task %d to file %d of %d", name, r, fn, o.NFiles)
+		}
+		mapping[r] = FileLoc{File: int32(fn), LocalRank: counts[fn]}
+		counts[fn]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			return nil, fmt.Errorf("sion: Create %s: physical file %d has no tasks", name, k)
+		}
+	}
+
+	sf := &SerialFile{
+		fsys: fsys, name: name, mode: WriteMode,
+		ntasks: ntasks, nfiles: o.NFiles, fsblk: fsblk, flags: o.flags(),
+		mapping: mapping,
+		files:   make([]*physFile, o.NFiles),
+		written: make([][]int64, ntasks),
+		curRank: -1,
+	}
+	for k := 0; k < o.NFiles; k++ {
+		h := &header{
+			FSBlockSize:  fsblk,
+			NTasksGlobal: int32(ntasks),
+			NTasksLocal:  counts[k],
+			NFiles:       int32(o.NFiles),
+			FileNum:      int32(k),
+			Flags:        o.flags(),
+			MaxChunks:    int32(o.MaxChunks),
+			GlobalRanks:  make([]int64, counts[k]),
+			ChunkSizes:   make([]int64, counts[k]),
+		}
+		for r := range mapping {
+			if int(mapping[r].File) == k {
+				h.GlobalRanks[mapping[r].LocalRank] = int64(r)
+				h.ChunkSizes[mapping[r].LocalRank] = chunkSizes[r]
+			}
+		}
+		if k == 0 {
+			h.Mapping = mapping
+		}
+		fh, err := fsys.Create(fileName(name, k))
+		if err != nil {
+			sf.abort()
+			return nil, fmt.Errorf("sion: Create %s: %w", name, err)
+		}
+		if _, err := fh.WriteAt(h.encode(), 0); err != nil {
+			fh.Close()
+			sf.abort()
+			return nil, fmt.Errorf("sion: Create %s: header: %w", name, err)
+		}
+		sf.files[k] = &physFile{fh: fh, h: h, geo: newGeometry(h)}
+	}
+	return sf, nil
+}
+
+// Open opens a multifile for serial reading with the global view
+// (paper Listing 5).
+func Open(fsys fsio.FileSystem, name string) (*SerialFile, error) {
+	fh0, err := fsys.Open(fileName(name, 0))
+	if err != nil {
+		return nil, fmt.Errorf("sion: Open %s: %w", name, err)
+	}
+	h0, err := parseHeader(fh0)
+	if err != nil {
+		fh0.Close()
+		return nil, fmt.Errorf("sion: Open %s: %w", name, err)
+	}
+	sf := &SerialFile{
+		fsys: fsys, name: name, mode: ReadMode,
+		ntasks: int(h0.NTasksGlobal), nfiles: int(h0.NFiles),
+		fsblk: h0.FSBlockSize, flags: h0.Flags,
+		mapping: h0.Mapping,
+		files:   make([]*physFile, h0.NFiles),
+		curRank: -1,
+	}
+	for k := range sf.files {
+		var fh fsio.File
+		var h *header
+		if k == 0 {
+			fh, h = fh0, h0
+		} else {
+			if fh, err = fsys.Open(fileName(name, k)); err != nil {
+				sf.abort()
+				return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
+			}
+			if h, err = parseHeader(fh); err != nil {
+				fh.Close()
+				sf.abort()
+				return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
+			}
+		}
+		m2, err := readTail(fh, int(h.NTasksLocal))
+		if err != nil {
+			fh.Close()
+			sf.abort()
+			return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
+		}
+		sf.files[k] = &physFile{fh: fh, h: h, geo: newGeometry(h), m2: m2}
+	}
+	return sf, nil
+}
+
+// OpenRank opens the logical file of one task for serial reading
+// (sion_open_rank, paper Listing 4). It loads only the metadata of the
+// physical file containing that task.
+func OpenRank(fsys fsio.FileSystem, name string, rank int) (*File, error) {
+	fh0, err := fsys.Open(fileName(name, 0))
+	if err != nil {
+		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
+	}
+	h0, err := parseHeader(fh0)
+	if err != nil {
+		fh0.Close()
+		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
+	}
+	if rank < 0 || rank >= int(h0.NTasksGlobal) {
+		fh0.Close()
+		return nil, fmt.Errorf("sion: OpenRank %s: rank %d outside 0..%d", name, rank, h0.NTasksGlobal-1)
+	}
+	loc := h0.Mapping[rank]
+
+	fh, h := fh0, h0
+	if loc.File != 0 {
+		fh0.Close()
+		if fh, err = fsys.Open(fileName(name, int(loc.File))); err != nil {
+			return nil, fmt.Errorf("sion: OpenRank %s: segment %d: %w", name, loc.File, err)
+		}
+		if h, err = parseHeader(fh); err != nil {
+			fh.Close()
+			return nil, fmt.Errorf("sion: OpenRank %s: segment %d: %w", name, loc.File, err)
+		}
+	}
+	m2, err := readTail(fh, int(h.NTasksLocal))
+	if err != nil {
+		fh.Close()
+		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
+	}
+	g := newGeometry(h)
+	li := int(loc.LocalRank)
+	f := &File{
+		fsys: fsys, fh: fh, name: name, mode: ReadMode,
+		local: li, global: rank,
+		filenum: int(loc.File), nfiles: int(h.NFiles), fsblk: h.FSBlockSize,
+		requested: h.ChunkSizes[li], chunkHdrs: h.Flags&flagChunkHeaders != 0,
+		geo: geometry{
+			fsblk:   h.FSBlockSize,
+			start:   g.start,
+			stride:  g.stride,
+			aligned: []int64{g.aligned[li]},
+			prefix:  []int64{g.prefix[li]},
+			headers: g.headers,
+		},
+		readBytes: append([]int64(nil), m2.BlockBytes[li]...),
+	}
+	return f, nil
+}
+
+func (sf *SerialFile) abort() {
+	for _, pf := range sf.files {
+		if pf != nil {
+			pf.fh.Close()
+		}
+	}
+	sf.closed = true
+}
+
+// --- Metadata ---------------------------------------------------------------
+
+// Locations describes the multifile layout (sion_get_locations): per task,
+// the physical placement, chunk sizes, and per-block byte counts.
+type Locations struct {
+	NTasks      int
+	NFiles      int
+	FSBlockSize int64
+	ChunkSizes  []int64   // per task (requested)
+	Placement   []FileLoc // per task
+	BlockBytes  [][]int64 // per task, per block (read mode; nil when writing)
+}
+
+// Locations returns the multifile layout metadata.
+func (sf *SerialFile) Locations() Locations {
+	loc := Locations{
+		NTasks:      sf.ntasks,
+		NFiles:      sf.nfiles,
+		FSBlockSize: sf.fsblk,
+		ChunkSizes:  make([]int64, sf.ntasks),
+		Placement:   append([]FileLoc(nil), sf.mapping...),
+		BlockBytes:  make([][]int64, sf.ntasks),
+	}
+	for r := 0; r < sf.ntasks; r++ {
+		pf := sf.files[sf.mapping[r].File]
+		li := int(sf.mapping[r].LocalRank)
+		loc.ChunkSizes[r] = pf.h.ChunkSizes[li]
+		if sf.mode == ReadMode {
+			loc.BlockBytes[r] = append([]int64(nil), pf.m2.BlockBytes[li]...)
+		}
+	}
+	return loc
+}
+
+// NTasks returns the number of logical task-local files.
+func (sf *SerialFile) NTasks() int { return sf.ntasks }
+
+// NFiles returns the number of physical files.
+func (sf *SerialFile) NFiles() int { return sf.nfiles }
+
+// FSBlockSize returns the alignment block size.
+func (sf *SerialFile) FSBlockSize() int64 { return sf.fsblk }
+
+// RankBytes returns the total bytes stored for one task.
+func (sf *SerialFile) RankBytes(rank int) int64 {
+	if rank < 0 || rank >= sf.ntasks {
+		return 0
+	}
+	var total int64
+	if sf.mode == ReadMode {
+		pf := sf.files[sf.mapping[rank].File]
+		for _, b := range pf.m2.BlockBytes[sf.mapping[rank].LocalRank] {
+			total += b
+		}
+		return total
+	}
+	for _, b := range sf.written[rank] {
+		total += b
+	}
+	return total
+}
+
+// --- Cursor I/O ---------------------------------------------------------------
+
+// Seek positions the cursor at (rank, block, pos) within the multifile
+// (sion_seek). In write mode, blocks beyond the currently allocated count
+// are allowed and extend the task's logical file.
+func (sf *SerialFile) Seek(rank, block int, pos int64) error {
+	if sf.closed {
+		return fmt.Errorf("sion: %s: seek on closed file", sf.name)
+	}
+	if rank < 0 || rank >= sf.ntasks || block < 0 || pos < 0 {
+		return fmt.Errorf("sion: %s: Seek(%d,%d,%d) out of range", sf.name, rank, block, pos)
+	}
+	pf := sf.files[sf.mapping[rank].File]
+	li := int(sf.mapping[rank].LocalRank)
+	cap := pf.geo.capacity(li)
+	if pos > cap {
+		return fmt.Errorf("sion: %s: Seek pos %d beyond chunk capacity %d", sf.name, pos, cap)
+	}
+	if sf.mode == ReadMode {
+		bb := pf.m2.BlockBytes[li]
+		if block >= len(bb) || pos > bb[block] {
+			return fmt.Errorf("sion: %s: Seek(%d,%d,%d) outside recorded data", sf.name, rank, block, pos)
+		}
+	}
+	sf.curRank, sf.curBlock, sf.curPos = rank, block, pos
+	return nil
+}
+
+func (sf *SerialFile) cursorFile() (*physFile, int) {
+	pf := sf.files[sf.mapping[sf.curRank].File]
+	return pf, int(sf.mapping[sf.curRank].LocalRank)
+}
+
+// Write stores p at the cursor, spanning into subsequent blocks of the
+// same task as needed, and advances the cursor.
+func (sf *SerialFile) Write(p []byte) (int, error) {
+	if sf.closed || sf.mode != WriteMode {
+		return 0, fmt.Errorf("sion: %s: serial write on %s handle", sf.name, sf.mode)
+	}
+	if sf.curRank < 0 {
+		return 0, fmt.Errorf("sion: %s: Write before Seek", sf.name)
+	}
+	pf, li := sf.cursorFile()
+	cap := pf.geo.capacity(li)
+	total := 0
+	for len(p) > 0 {
+		if sf.curPos == cap {
+			sf.curBlock++
+			sf.curPos = 0
+		}
+		w := int64(len(p))
+		if w > cap-sf.curPos {
+			w = cap - sf.curPos
+		}
+		off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
+		if _, err := pf.fh.WriteAt(p[:w], off); err != nil {
+			return total, fmt.Errorf("sion: %s: serial write: %w", sf.name, err)
+		}
+		sf.noteWritten(sf.curRank, sf.curBlock, sf.curPos+w)
+		sf.curPos += w
+		total += int(w)
+		p = p[w:]
+	}
+	return total, nil
+}
+
+// noteWritten records the high-water mark of (rank, block).
+func (sf *SerialFile) noteWritten(rank, block int, bytes int64) {
+	bb := sf.written[rank]
+	for len(bb) <= block {
+		bb = append(bb, 0)
+	}
+	if bytes > bb[block] {
+		bb[block] = bytes
+	}
+	sf.written[rank] = bb
+}
+
+// Read fills p from the cursor, spanning blocks of the current task, and
+// advances the cursor. It returns io.EOF at the end of the task's data.
+func (sf *SerialFile) Read(p []byte) (int, error) {
+	if sf.closed || sf.mode != ReadMode {
+		return 0, fmt.Errorf("sion: %s: serial read on %s handle", sf.name, sf.mode)
+	}
+	if sf.curRank < 0 {
+		return 0, fmt.Errorf("sion: %s: Read before Seek", sf.name)
+	}
+	pf, li := sf.cursorFile()
+	bb := pf.m2.BlockBytes[li]
+	total := 0
+	for len(p) > 0 {
+		if sf.curBlock >= len(bb) {
+			break
+		}
+		avail := bb[sf.curBlock] - sf.curPos
+		if avail == 0 {
+			sf.curBlock++
+			sf.curPos = 0
+			continue
+		}
+		r := int64(len(p))
+		if r > avail {
+			r = avail
+		}
+		off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
+		if _, err := pf.fh.ReadAt(p[:r], off); err != nil && err != io.EOF {
+			return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
+		}
+		sf.curPos += r
+		total += int(r)
+		p = p[r:]
+	}
+	if total == 0 && len(p) > 0 {
+		return 0, io.EOF
+	}
+	return total, nil
+}
+
+// ReadRank returns the complete logical file of one task (concatenation of
+// all its chunks' used bytes) — a convenience built on Seek/Read used by
+// the split utility and tests.
+func (sf *SerialFile) ReadRank(rank int) ([]byte, error) {
+	if err := sf.Seek(rank, 0, 0); err != nil {
+		return nil, err
+	}
+	out := make([]byte, sf.RankBytes(rank))
+	n, err := io.ReadFull(sf, out)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	return out[:n], nil
+}
+
+// Close finishes the serial handle. In write mode it writes each physical
+// file's metablock 2 and trailer.
+func (sf *SerialFile) Close() error {
+	if sf.closed {
+		return nil
+	}
+	sf.closed = true
+	var firstErr error
+	if sf.mode == WriteMode {
+		for k, pf := range sf.files {
+			nlocal := int(pf.h.NTasksLocal)
+			m2 := &meta2{BlockBytes: make([][]int64, nlocal)}
+			maxBlocks := 0
+			for r := range sf.mapping {
+				if int(sf.mapping[r].File) != k {
+					continue
+				}
+				bb := sf.written[r]
+				if len(bb) == 0 {
+					bb = []int64{0}
+				}
+				m2.BlockBytes[sf.mapping[r].LocalRank] = bb
+				if len(bb) > maxBlocks {
+					maxBlocks = len(bb)
+				}
+			}
+			// Chunk headers for every touched block, sealed with counts.
+			if sf.flags&flagChunkHeaders != 0 {
+				if err := sf.sealAllChunks(k, m2); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			at := pf.geo.start + pf.geo.stride*int64(maxBlocks)
+			if _, err := writeTail(pf.fh, m2, at); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, pf := range sf.files {
+		if err := pf.fh.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// sealAllChunks writes finalized chunk headers for every block recorded in
+// m2 of physical file k.
+func (sf *SerialFile) sealAllChunks(k int, m2 *meta2) error {
+	pf := sf.files[k]
+	for li, bb := range m2.BlockBytes {
+		for b, bytes := range bb {
+			ch := chunkHeader{GlobalRank: pf.h.GlobalRanks[li], Block: int64(b), Bytes: bytes}
+			if _, err := pf.fh.WriteAt(ch.encode(), pf.geo.chunkOff(li, b)); err != nil {
+				return fmt.Errorf("sion: %s: sealing chunk headers: %w", sf.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// PhysicalNames lists the physical file names of a multifile with n
+// segments (helper for utilities).
+func PhysicalNames(name string, nfiles int) []string {
+	out := make([]string, nfiles)
+	for k := range out {
+		out[k] = fileName(name, k)
+	}
+	return out
+}
+
+// sortedRanksOf returns the global ranks stored in physical file k,
+// ordered by local rank (utility helper).
+func (sf *SerialFile) sortedRanksOf(k int) []int {
+	var ranks []int
+	for r, loc := range sf.mapping {
+		if int(loc.File) == k {
+			ranks = append(ranks, r)
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		return sf.mapping[ranks[i]].LocalRank < sf.mapping[ranks[j]].LocalRank
+	})
+	return ranks
+}

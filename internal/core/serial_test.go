@@ -1,0 +1,295 @@
+package sion
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+func TestSerialCreateSeekWriteReadBack(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	sizes := []int64{100, 200, 300}
+	sf, err := Create(fsys, "sw.sion", sizes, &Options{FSBlockSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write into specific (rank, block, pos) positions like Listing 3.
+	if err := sf.Seek(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	sf.Write([]byte("rank1-block0"))
+	if err := sf.Seek(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	sf.Write([]byte("rank1-block2"))
+	if err := sf.Seek(2, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	sf.Write([]byte("offset-write"))
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := Open(fsys, "sw.sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	loc := rf.Locations()
+	if got := len(loc.BlockBytes[1]); got != 3 {
+		t.Fatalf("rank 1 blocks = %d, want 3 (sparse middle block)", got)
+	}
+	if loc.BlockBytes[1][1] != 0 {
+		t.Fatalf("rank 1 middle block bytes = %d, want 0", loc.BlockBytes[1][1])
+	}
+	rf.Seek(1, 2, 0)
+	b := make([]byte, 12)
+	if _, err := io.ReadFull(rf, b); err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "rank1-block2" {
+		t.Fatalf("got %q", b)
+	}
+	// Rank 2: 10 zero bytes then the payload (high-water semantics).
+	if rf.RankBytes(2) != 22 {
+		t.Fatalf("rank 2 bytes = %d, want 22", rf.RankBytes(2))
+	}
+	got, _ := rf.ReadRank(2)
+	if !bytes.Equal(got[10:], []byte("offset-write")) {
+		t.Fatalf("rank 2 data = %q", got)
+	}
+}
+
+func TestSerialCreateWithChunkHeadersVerifies(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	sf, err := Create(fsys, "h.sion", []int64{64, 64}, &Options{FSBlockSize: 128, ChunkHeaders: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf.Seek(0, 0, 0)
+	sf.Write([]byte("aaa"))
+	sf.Seek(1, 0, 0)
+	sf.Write([]byte("bbbb"))
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(fsys, "h.sion"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialCreateErrors(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	if _, err := Create(fsys, "x", nil, nil); err == nil {
+		t.Fatal("empty chunk sizes accepted")
+	}
+	if _, err := Create(fsys, "x", []int64{0}, nil); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+	if _, err := Create(fsys, "x", []int64{10, 10}, &Options{
+		Mapping: func(rank, n, nf int) int { return 99 },
+	}); err == nil {
+		t.Fatal("out-of-range mapping accepted")
+	}
+}
+
+func TestSerialSeekValidation(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	sf, _ := Create(fsys, "s.sion", []int64{100}, &Options{FSBlockSize: 64})
+	defer sf.Close()
+	if err := sf.Seek(5, 0, 0); err == nil {
+		t.Fatal("seek to invalid rank accepted")
+	}
+	if err := sf.Seek(0, -1, 0); err == nil {
+		t.Fatal("negative block accepted")
+	}
+	if err := sf.Seek(0, 0, 1<<20); err == nil {
+		t.Fatal("pos beyond capacity accepted")
+	}
+	if err := sf.Seek(0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sf.Write([]byte("x")); err != nil {
+		t.Fatal("write after valid seek failed:", err)
+	}
+}
+
+func TestSerialWriteBeforeSeekFails(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	sf, _ := Create(fsys, "b.sion", []int64{10}, nil)
+	defer sf.Close()
+	if _, err := sf.Write([]byte("x")); err == nil {
+		t.Fatal("write before Seek accepted")
+	}
+}
+
+func TestReadSeekOutsideRecordedData(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "r.sion", WriteMode, &Options{ChunkSize: 64, FSBlockSize: 64})
+		f.Write([]byte("hello"))
+		f.Close()
+	})
+	sf, err := Open(fsys, "r.sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	if err := sf.Seek(0, 1, 0); err == nil {
+		t.Fatal("seek beyond recorded blocks accepted")
+	}
+	if err := sf.Seek(0, 0, 6); err == nil {
+		t.Fatal("seek beyond recorded bytes accepted")
+	}
+}
+
+func TestPhysicalNames(t *testing.T) {
+	names := PhysicalNames("a.sion", 3)
+	want := []string{"a.sion", "a.sion.000001", "a.sion.000002"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestSyntheticIOOnRealFS(t *testing.T) {
+	// WriteSynthetic writes literal zeros on the OS backend, so a
+	// multifile written synthetically must read back as zeros.
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(3, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "z.sion", WriteMode, &Options{ChunkSize: 1000, FSBlockSize: 512})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.WriteSynthetic(2500); err != nil { // spans 3 chunks
+			t.Error(err)
+		}
+		f.Close()
+
+		r, _ := ParOpen(c, fsys, "z.sion", ReadMode, nil)
+		n, err := r.ReadSynthetic(10000)
+		if err != nil {
+			t.Error(err)
+		}
+		if n != 2500 {
+			t.Errorf("rank %d: synthetic read %d, want 2500", c.Rank(), n)
+		}
+		r.Close()
+
+		r2, _ := ParOpen(c, fsys, "z.sion", ReadMode, nil)
+		buf := make([]byte, 2500)
+		if _, err := io.ReadFull(r2, buf); err != nil {
+			t.Error(err)
+		}
+		for _, b := range buf {
+			if b != 0 {
+				t.Errorf("rank %d: non-zero byte from synthetic write", c.Rank())
+				break
+			}
+		}
+		r2.Close()
+	})
+}
+
+func TestDefragPreservesMultiFilePlacement(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 6
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "m.sion", WriteMode, &Options{ChunkSize: 64, FSBlockSize: 64, NFiles: 3})
+		f.Write(rankPayload(c.Rank(), 200)) // several blocks
+		f.Close()
+	})
+	if err := Defrag(fsys, "m.sion", fsys, "m2.sion"); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := Open(fsys, "m.sion")
+	dst, err := Open(fsys, "m2.sion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	defer dst.Close()
+	ls, ld := src.Locations(), dst.Locations()
+	if ld.NFiles != ls.NFiles {
+		t.Fatalf("defrag changed file count: %d -> %d", ls.NFiles, ld.NFiles)
+	}
+	for r := 0; r < n; r++ {
+		if ld.Placement[r].File != ls.Placement[r].File {
+			t.Fatalf("rank %d moved from file %d to %d", r, ls.Placement[r].File, ld.Placement[r].File)
+		}
+		a, _ := src.ReadRank(r)
+		b, _ := dst.ReadRank(r)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("rank %d content differs after defrag", r)
+		}
+	}
+}
+
+func TestSplitSubsetAndBadPattern(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(4, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "s.sion", WriteMode, &Options{ChunkSize: 64, FSBlockSize: 64})
+		f.Write(rankPayload(c.Rank(), 40))
+		f.Close()
+	})
+	if err := Split(fsys, "s.sion", fsys, "no-verb", nil); err == nil {
+		t.Fatal("pattern without a rank verb accepted")
+	}
+	if err := Split(fsys, "s.sion", fsys, "out-%d", []int{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Stat("out-1"); err != nil {
+		t.Fatal("selected rank not extracted")
+	}
+	if _, err := fsys.Stat("out-0"); !errors.Is(err, fsio.ErrNotExist) {
+		t.Fatal("unselected rank extracted")
+	}
+	if err := Split(fsys, "s.sion", fsys, "out-%d", []int{9}); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestSerialFileDoubleCloseAndClosedOps(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	sf, _ := Create(fsys, "c.sion", []int64{10}, nil)
+	if err := sf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+	if err := sf.Seek(0, 0, 0); err == nil {
+		t.Fatal("seek on closed file accepted")
+	}
+}
+
+func TestOpenRankMultiSegment(t *testing.T) {
+	// OpenRank for a task living in segment > 0 must only need that
+	// segment plus the mapping from segment 0.
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 6
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, _ := ParOpen(c, fsys, "seg.sion", WriteMode, &Options{ChunkSize: 128, FSBlockSize: 128, NFiles: 3})
+		f.Write(rankPayload(c.Rank(), 128))
+		f.Close()
+	})
+	f, err := OpenRank(fsys, "seg.sion", n-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.PhysicalFile() != 2 {
+		t.Fatalf("rank %d in file %d, want 2", n-1, f.PhysicalFile())
+	}
+	got := make([]byte, 128)
+	io.ReadFull(f, got)
+	if !bytes.Equal(got, rankPayload(n-1, 128)) {
+		t.Fatal("content mismatch via OpenRank in segment 2")
+	}
+}

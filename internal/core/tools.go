@@ -1,0 +1,214 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/fsio"
+)
+
+// Dump prints the multifile metadata in human-readable form (the paper's
+// §3.3 "dump" utility): global layout, per-physical-file geometry, and the
+// per-task chunk table.
+func Dump(fsys fsio.FileSystem, name string, w io.Writer) error {
+	sf, err := Open(fsys, name)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	loc := sf.Locations()
+	fmt.Fprintf(w, "multifile:     %s\n", name)
+	fmt.Fprintf(w, "tasks:         %d\n", loc.NTasks)
+	fmt.Fprintf(w, "physical files:%d\n", loc.NFiles)
+	fmt.Fprintf(w, "fs block size: %d\n", loc.FSBlockSize)
+	fmt.Fprintf(w, "chunk headers: %v\n", sf.flags&flagChunkHeaders != 0)
+	for k, pf := range sf.files {
+		fmt.Fprintf(w, "segment %d: %s  local tasks %d  block stride %d  data start %d\n",
+			k, fileName(name, k), pf.h.NTasksLocal, pf.geo.stride, pf.geo.start)
+	}
+	fmt.Fprintf(w, "%6s %6s %6s %12s %8s %14s\n", "task", "file", "lrank", "chunksize", "blocks", "bytes")
+	for r := 0; r < loc.NTasks; r++ {
+		var total int64
+		for _, b := range loc.BlockBytes[r] {
+			total += b
+		}
+		fmt.Fprintf(w, "%6d %6d %6d %12d %8d %14d\n",
+			r, loc.Placement[r].File, loc.Placement[r].LocalRank,
+			loc.ChunkSizes[r], len(loc.BlockBytes[r]), total)
+	}
+	return nil
+}
+
+// Split extracts the logical task-local files from a multifile and
+// recreates them as physical files (the paper's §3.3 "split" utility).
+// pattern must contain one "%d" verb receiving the task rank; out may be
+// the same or a different file system. ranks selects a subset (nil = all).
+func Split(fsys fsio.FileSystem, name string, out fsio.FileSystem, pattern string, ranks []int) error {
+	if !strings.Contains(pattern, "%d") {
+		return fmt.Errorf("sion: Split: pattern %q lacks %%d", pattern)
+	}
+	sf, err := Open(fsys, name)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	if ranks == nil {
+		ranks = make([]int, sf.ntasks)
+		for i := range ranks {
+			ranks[i] = i
+		}
+	}
+	buf := make([]byte, 1<<20)
+	for _, r := range ranks {
+		if r < 0 || r >= sf.ntasks {
+			return fmt.Errorf("sion: Split: rank %d outside 0..%d", r, sf.ntasks-1)
+		}
+		dst, err := out.Create(fmt.Sprintf(pattern, r))
+		if err != nil {
+			return fmt.Errorf("sion: Split rank %d: %w", r, err)
+		}
+		if err := sf.Seek(r, 0, 0); err != nil {
+			dst.Close()
+			return err
+		}
+		var off int64
+		for {
+			n, rerr := sf.Read(buf)
+			if n > 0 {
+				if _, werr := dst.WriteAt(buf[:n], off); werr != nil {
+					dst.Close()
+					return fmt.Errorf("sion: Split rank %d: %w", r, werr)
+				}
+				off += int64(n)
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				dst.Close()
+				return rerr
+			}
+		}
+		if err := dst.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Defrag rewrites a multifile so that each task's data occupies exactly one
+// chunk in a single block, eliminating the logical gaps left by partially
+// filled blocks (the paper's §3.3 "defragment" utility). The destination
+// keeps the physical-file count and task placement of the source.
+func Defrag(fsys fsio.FileSystem, name string, out fsio.FileSystem, dstName string) error {
+	sf, err := Open(fsys, name)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+
+	chunkSizes := make([]int64, sf.ntasks)
+	for r := range chunkSizes {
+		if chunkSizes[r] = sf.RankBytes(r); chunkSizes[r] == 0 {
+			chunkSizes[r] = 1 // a chunk must have positive capacity
+		}
+	}
+	mapping := sf.mapping
+	opts := &Options{
+		FSBlockSize:  sf.fsblk,
+		NFiles:       sf.nfiles,
+		ChunkHeaders: sf.flags&flagChunkHeaders != 0,
+		Mapping: func(rank, ntasks, nfiles int) int {
+			return int(mapping[rank].File)
+		},
+	}
+	dst, err := Create(out, dstName, chunkSizes, opts)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 1<<20)
+	for r := 0; r < sf.ntasks; r++ {
+		if err := sf.Seek(r, 0, 0); err != nil {
+			dst.abort()
+			return err
+		}
+		if err := dst.Seek(r, 0, 0); err != nil {
+			dst.abort()
+			return err
+		}
+		for {
+			n, rerr := sf.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					dst.abort()
+					return werr
+				}
+			}
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				dst.abort()
+				return rerr
+			}
+		}
+	}
+	return dst.Close()
+}
+
+// Verify checks the structural integrity of a multifile: parsable
+// metablocks, consistent mapping, and per-block byte counts within chunk
+// capacity. It returns the first problem found (nil = intact).
+func Verify(fsys fsio.FileSystem, name string) error {
+	sf, err := Open(fsys, name)
+	if err != nil {
+		return err
+	}
+	defer sf.Close()
+	seen := make(map[[2]int32]bool)
+	for r, loc := range sf.mapping {
+		key := [2]int32{loc.File, loc.LocalRank}
+		if seen[key] {
+			return fmt.Errorf("%w: tasks share placement file=%d lrank=%d", ErrCorrupt, loc.File, loc.LocalRank)
+		}
+		seen[key] = true
+		pf := sf.files[loc.File]
+		li := int(loc.LocalRank)
+		if li >= int(pf.h.NTasksLocal) {
+			return fmt.Errorf("%w: task %d local rank %d beyond segment size %d", ErrCorrupt, r, li, pf.h.NTasksLocal)
+		}
+		if pf.h.GlobalRanks[li] != int64(r) {
+			return fmt.Errorf("%w: segment %d lrank %d says global rank %d, mapping says %d",
+				ErrCorrupt, loc.File, li, pf.h.GlobalRanks[li], r)
+		}
+		cap := pf.geo.capacity(li)
+		for b, bytes := range pf.m2.BlockBytes[li] {
+			if bytes < 0 || bytes > cap {
+				return fmt.Errorf("%w: task %d block %d holds %d bytes, capacity %d", ErrCorrupt, r, b, bytes, cap)
+			}
+		}
+	}
+	// With chunk headers enabled, cross-check them against metablock 2.
+	if sf.flags&flagChunkHeaders != 0 {
+		for k, pf := range sf.files {
+			hdr := make([]byte, chunkHeaderSize)
+			for li := 0; li < int(pf.h.NTasksLocal); li++ {
+				for b, bytes := range pf.m2.BlockBytes[li] {
+					if _, err := pf.fh.ReadAt(hdr, pf.geo.chunkOff(li, b)); err != nil && err != io.EOF {
+						return fmt.Errorf("%w: segment %d: reading chunk header: %v", ErrCorrupt, k, err)
+					}
+					ch, ok := parseChunkHeader(hdr)
+					if !ok {
+						return fmt.Errorf("%w: segment %d task %d block %d: bad chunk header", ErrCorrupt, k, pf.h.GlobalRanks[li], b)
+					}
+					if ch.GlobalRank != pf.h.GlobalRanks[li] || ch.Block != int64(b) || ch.Bytes != bytes {
+						return fmt.Errorf("%w: segment %d: chunk header %+v disagrees with metablock 2 (%d bytes)",
+							ErrCorrupt, k, *ch, bytes)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

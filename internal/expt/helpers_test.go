@@ -1,0 +1,84 @@
+package expt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/simfs"
+	"repro/internal/vtime"
+)
+
+type fsioFS = fsio.FileSystem
+
+func TestKfmt(t *testing.T) {
+	cases := map[int]string{512: "512", 1024: "1k", 4096: "4k", 65536: "64k", 1000: "1000"}
+	for n, want := range cases {
+		if got := kfmt(n); got != want {
+			t.Errorf("kfmt(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestScaleDown(t *testing.T) {
+	if got := scaleDown(65536, 16, 2); got != 4096 {
+		t.Errorf("scaleDown = %d", got)
+	}
+	if got := scaleDown(100, 1000, 7); got != 7 {
+		t.Errorf("min not enforced: %d", got)
+	}
+	if got := scaleDown(64, 0, 1); got != 64 {
+		t.Errorf("scale<1 not clamped: %d", got)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if profileByName("jugene").Name != "jugene" || profileByName("jaguar").Name != "jaguar" {
+		t.Fatal("profile lookup broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown profile did not panic")
+		}
+	}()
+	profileByName("bluewaters")
+}
+
+// allMaxTime must return the true maximum clock across ranks.
+func TestAllMaxTime(t *testing.T) {
+	e := vtime.NewEngine()
+	mpi.RunSim(e, 5, mpi.DefaultCost, func(c *mpi.Comm) {
+		c.Advance(float64(c.Rank()) * 1.5)
+		got := allMaxTime(c)
+		if got < 6.0 {
+			t.Errorf("rank %d: allMaxTime = %g, want ≥ 6.0", c.Rank(), got)
+		}
+	})
+}
+
+// syncStart must leave every rank at the same virtual time.
+func TestSyncStart(t *testing.T) {
+	e := vtime.NewEngine()
+	times := make([]float64, 4)
+	mpi.RunSim(e, 4, mpi.DefaultCost, func(c *mpi.Comm) {
+		c.Advance(float64(3 - c.Rank()))
+		times[c.Rank()] = syncStart(c)
+	})
+	for r := 1; r < 4; r++ {
+		if math.Abs(times[r]-times[0]) > 1e-9 {
+			t.Fatalf("ranks not aligned: %v", times)
+		}
+	}
+}
+
+// simRun returns the makespan (max across ranks).
+func TestSimRunMakespan(t *testing.T) {
+	fs := simfs.New(simfs.Jugene())
+	end := simRun(fs, 3, func(c *mpi.Comm, _ fsioFS) {
+		c.Advance(float64(c.Rank()))
+	})
+	if end != 2.0 {
+		t.Fatalf("makespan = %g, want 2", end)
+	}
+}

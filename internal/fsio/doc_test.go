@@ -1,0 +1,23 @@
+package fsio_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/fsio"
+)
+
+// ExampleOS demonstrates the file-system abstraction the SION library is
+// written against: the same code runs on the real OS and on the simulated
+// parallel file systems.
+func ExampleOS() {
+	dir, _ := os.MkdirTemp("", "fsio")
+	defer os.RemoveAll(dir)
+	fs := fsio.NewOS(dir)
+	f, _ := fs.Create("demo.bin")
+	f.WriteAt([]byte("multifile"), 0)
+	f.Close()
+	info, _ := fs.Stat("demo.bin")
+	fmt.Println(info.Size)
+	// Output: 9
+}

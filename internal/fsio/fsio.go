@@ -1,0 +1,76 @@
+// Package fsio defines the file-system abstraction the SION library is
+// written against, so the identical library code runs both on the real
+// operating-system file system (see OS) and on the simulated parallel file
+// systems of internal/simfs used to reproduce the paper's experiments.
+package fsio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrNotExist is returned when a file does not exist. Backends wrap their
+// native not-exist errors so callers can test with errors.Is.
+var ErrNotExist = errors.New("fsio: file does not exist")
+
+// ErrExist is returned by Create when exclusive creation fails.
+var ErrExist = errors.New("fsio: file already exists")
+
+// ErrQuota is returned by write operations when a quota or space limit is
+// exceeded (used by simfs failure injection; maps from ENOSPC on the OS).
+var ErrQuota = errors.New("fsio: quota exceeded")
+
+// FileSystem is the minimal parallel-file-system surface SIONlib needs:
+// create/open/stat/remove plus the file-system block size, which SIONlib
+// auto-detects to align chunks (paper §3.1: "the block size of the target
+// file system is determined automatically via the fstat() system call").
+type FileSystem interface {
+	// Create creates (or truncates) the named file for read/write access.
+	Create(name string) (File, error)
+	// Open opens the named file. Write access is backend-defined; SIONlib
+	// only writes to files it created, except when updating chunk headers,
+	// for which it uses OpenRW.
+	Open(name string) (File, error)
+	// OpenRW opens an existing file for reading and writing.
+	OpenRW(name string) (File, error)
+	// Stat reports metadata for the named file.
+	Stat(name string) (FileInfo, error)
+	// Remove deletes the named file.
+	Remove(name string) error
+	// BlockSize reports the file-system block size governing the directory
+	// that would contain name (fstat's st_blksize equivalent).
+	BlockSize(name string) int64
+}
+
+// FileInfo is the subset of file metadata SIONlib consumes.
+type FileInfo struct {
+	Name string
+	Size int64
+}
+
+// File is a random-access file handle.
+//
+// In addition to byte-accurate I/O, File carries two metered "synthetic"
+// operations used by the at-scale benchmark harness: WriteZeroAt and
+// ReadDiscardAt behave exactly like WriteAt/ReadAt of n bytes for cost and
+// extent accounting, but the payload is all zeros and never materialized by
+// the simulated backend, letting terabyte-scale experiments run in memory.
+// The OS backend implements them faithfully with real zero bytes.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+
+	// WriteZeroAt writes n synthetic zero bytes at off.
+	WriteZeroAt(n, off int64) error
+	// ReadDiscardAt reads and discards n bytes at off. It returns the
+	// number of bytes that existed (reads past EOF are short, like ReadAt).
+	ReadDiscardAt(n, off int64) (int64, error)
+
+	// Size reports the current file size.
+	Size() (int64, error)
+	// Truncate changes the file size.
+	Truncate(size int64) error
+	// Sync flushes buffered data (no-op where meaningless).
+	Sync() error
+}

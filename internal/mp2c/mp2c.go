@@ -1,0 +1,416 @@
+// Package mp2c is a miniature stand-in for the paper's MP2C code (§5.1):
+// a mesoscopic particle-dynamics simulation with MPI-style domain
+// decomposition whose production bottleneck was checkpoint/restart I/O.
+//
+// Particles carry exactly the paper's record size — 52 bytes each
+// (3×float64 position + 3×float64 velocity + uint32 id) — and checkpoints
+// can be written three ways, mirroring the paper's comparison:
+//
+//   - single-file sequential (the original MP2C approach: one designated
+//     I/O task gathers batches from all tasks and writes one file),
+//   - task-local files (one physical file per task), and
+//   - a SIONlib multifile.
+package mp2c
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// ParticleBytes is the checkpoint record size of one particle; it matches
+// the paper's Fig. 6 workload ("52 bytes per particle").
+const ParticleBytes = 52
+
+// Particle is one mesoscale particle.
+type Particle struct {
+	Pos [3]float64
+	Vel [3]float64
+	ID  uint32
+}
+
+// Encode appends the particle's 52-byte checkpoint record to dst.
+func (p *Particle) Encode(dst []byte) []byte {
+	var buf [ParticleBytes]byte
+	le := binary.LittleEndian
+	for i := 0; i < 3; i++ {
+		le.PutUint64(buf[8*i:], floatBits(p.Pos[i]))
+		le.PutUint64(buf[24+8*i:], floatBits(p.Vel[i]))
+	}
+	le.PutUint32(buf[48:], p.ID)
+	return append(dst, buf[:]...)
+}
+
+// DecodeParticle parses one 52-byte record.
+func DecodeParticle(src []byte) (Particle, error) {
+	if len(src) < ParticleBytes {
+		return Particle{}, fmt.Errorf("mp2c: short particle record (%d bytes)", len(src))
+	}
+	var p Particle
+	le := binary.LittleEndian
+	for i := 0; i < 3; i++ {
+		p.Pos[i] = floatFromBits(le.Uint64(src[8*i:]))
+		p.Vel[i] = floatFromBits(le.Uint64(src[24+8*i:]))
+	}
+	p.ID = le.Uint32(src[48:])
+	return p, nil
+}
+
+// System is the per-task state of a domain-decomposed particle simulation.
+// The global domain [0,L)³ is split into equal boxes along a 3-D task
+// grid, like MP2C's equal-volume geometrical domains.
+type System struct {
+	comm      *mpi.Comm
+	grid      [3]int
+	coord     [3]int
+	L         float64 // global edge length
+	box       [3][2]float64
+	Particles []Particle
+	dt        float64
+}
+
+// NewSystem creates a system of nPerTask particles per task on a task grid
+// derived from the communicator size, deterministically seeded.
+func NewSystem(comm *mpi.Comm, nPerTask int, seed int64) *System {
+	g := factor3(comm.Size())
+	s := &System{comm: comm, grid: g, L: 1.0, dt: 0.01}
+	r := comm.Rank()
+	s.coord = [3]int{r % g[0], r / g[0] % g[1], r / (g[0] * g[1])}
+	for d := 0; d < 3; d++ {
+		w := s.L / float64(g[d])
+		s.box[d][0] = float64(s.coord[d]) * w
+		s.box[d][1] = s.box[d][0] + w
+	}
+	rng := rand.New(rand.NewSource(seed + int64(r)*7919))
+	s.Particles = make([]Particle, nPerTask)
+	for i := range s.Particles {
+		p := &s.Particles[i]
+		for d := 0; d < 3; d++ {
+			p.Pos[d] = s.box[d][0] + rng.Float64()*(s.box[d][1]-s.box[d][0])
+			p.Vel[d] = rng.NormFloat64() * 0.1
+		}
+		p.ID = uint32(r*nPerTask + i)
+	}
+	return s
+}
+
+// factor3 splits n into a near-cubic 3-D grid.
+func factor3(n int) [3]int {
+	best := [3]int{n, 1, 1}
+	bestScore := n
+	for a := 1; a*a*a <= n; a++ {
+		if n%a != 0 {
+			continue
+		}
+		m := n / a
+		for b := a; b*b <= m; b++ {
+			if m%b != 0 {
+				continue
+			}
+			c := m / b
+			if c-a < bestScore {
+				bestScore = c - a
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best
+}
+
+// Step advances the simulation: streaming (position update with periodic
+// wrap), a cell-local collision step (velocity relaxation toward the cell
+// mean, a simplified multi-particle-collision update), and migration of
+// particles that left the local box to their new owner task.
+func (s *System) Step() {
+	for i := range s.Particles {
+		p := &s.Particles[i]
+		for d := 0; d < 3; d++ {
+			p.Pos[d] += p.Vel[d] * s.dt
+			for p.Pos[d] < 0 {
+				p.Pos[d] += s.L
+			}
+			for p.Pos[d] >= s.L {
+				p.Pos[d] -= s.L
+			}
+		}
+	}
+	s.collide()
+	s.migrate()
+}
+
+// collide relaxes velocities toward the local mean (momentum-conserving).
+func (s *System) collide() {
+	if len(s.Particles) == 0 {
+		return
+	}
+	var mean [3]float64
+	for i := range s.Particles {
+		for d := 0; d < 3; d++ {
+			mean[d] += s.Particles[i].Vel[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		mean[d] /= float64(len(s.Particles))
+	}
+	const alpha = 0.1
+	for i := range s.Particles {
+		for d := 0; d < 3; d++ {
+			v := &s.Particles[i].Vel[d]
+			*v = *v + alpha*(mean[d]-*v)
+		}
+	}
+}
+
+// owner returns the rank owning a position.
+func (s *System) owner(pos [3]float64) int {
+	var c [3]int
+	for d := 0; d < 3; d++ {
+		c[d] = int(pos[d] / s.L * float64(s.grid[d]))
+		if c[d] >= s.grid[d] {
+			c[d] = s.grid[d] - 1
+		}
+		if c[d] < 0 {
+			c[d] = 0
+		}
+	}
+	return c[0] + s.grid[0]*(c[1]+s.grid[1]*c[2])
+}
+
+// migrate sends particles that left the local box to their owners via an
+// all-to-all exchange.
+func (s *System) migrate() {
+	n := s.comm.Size()
+	if n == 1 {
+		return
+	}
+	outgoing := make([][]byte, n)
+	kept := s.Particles[:0]
+	for i := range s.Particles {
+		o := s.owner(s.Particles[i].Pos)
+		if o == s.comm.Rank() {
+			kept = append(kept, s.Particles[i])
+		} else {
+			outgoing[o] = s.Particles[i].Encode(outgoing[o])
+		}
+	}
+	s.Particles = kept
+	for peer, in := range s.comm.Alltoallv(outgoing) {
+		if peer == s.comm.Rank() {
+			continue
+		}
+		for len(in) >= ParticleBytes {
+			p, _ := DecodeParticle(in)
+			s.Particles = append(s.Particles, p)
+			in = in[ParticleBytes:]
+		}
+	}
+}
+
+// EncodeAll serializes the task's particles as checkpoint records.
+func (s *System) EncodeAll() []byte {
+	out := make([]byte, 0, len(s.Particles)*ParticleBytes)
+	for i := range s.Particles {
+		out = s.Particles[i].Encode(out)
+	}
+	return out
+}
+
+// DecodeAll replaces the task's particles from checkpoint records.
+func (s *System) DecodeAll(data []byte) error {
+	if len(data)%ParticleBytes != 0 {
+		return fmt.Errorf("mp2c: checkpoint length %d not a record multiple", len(data))
+	}
+	s.Particles = s.Particles[:0]
+	for len(data) > 0 {
+		p, err := DecodeParticle(data)
+		if err != nil {
+			return err
+		}
+		s.Particles = append(s.Particles, p)
+		data = data[ParticleBytes:]
+	}
+	return nil
+}
+
+// --- Checkpoint back-ends -----------------------------------------------------
+
+// CheckpointSION writes the restart file through a SIONlib multifile
+// (collective; the paper's integration needed ~50 changed lines).
+func CheckpointSION(comm *mpi.Comm, fsys fsio.FileSystem, name string, s *System, nfiles int) error {
+	data := s.EncodeAll()
+	chunk := int64(len(data))
+	if chunk == 0 {
+		chunk = ParticleBytes
+	}
+	f, err := sion.ParOpen(comm, fsys, name, sion.WriteMode, &sion.Options{ChunkSize: chunk, NFiles: nfiles})
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// RestartSION reads the restart file back (collective).
+func RestartSION(comm *mpi.Comm, fsys fsio.FileSystem, name string, s *System) error {
+	f, err := sion.ParOpen(comm, fsys, name, sion.ReadMode, nil)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var data []byte
+	buf := make([]byte, 1<<16)
+	for !f.EOF() {
+		n, err := f.Read(buf)
+		if n > 0 {
+			data = append(data, buf[:n]...)
+		}
+		if err != nil {
+			break
+		}
+	}
+	return s.DecodeAll(data)
+}
+
+// CheckpointSingleSequential writes the restart file the original MP2C
+// way (paper §1, §5.1): a designated I/O task alternates gathering a batch
+// of data from the tasks and writing it, bounded by the I/O task's memory
+// (batchBytes). The file layout is rank-ordered concatenation.
+func CheckpointSingleSequential(comm *mpi.Comm, fsys fsio.FileSystem, name string, s *System, batchBytes int) error {
+	const tag = 7100
+	data := s.EncodeAll()
+	if batchBytes < ParticleBytes {
+		batchBytes = ParticleBytes
+	}
+	if comm.Rank() != 0 {
+		// Announce size, then stream batches on request.
+		comm.Send(0, tag, encodeI64(int64(len(data))))
+		for off := 0; off < len(data); off += batchBytes {
+			end := off + batchBytes
+			if end > len(data) {
+				end = len(data)
+			}
+			comm.Recv(0, tag+1) // flow control: master asks for the batch
+			comm.Send(0, tag+2, data[off:end])
+		}
+		return nil
+	}
+	fh, err := fsys.Create(name)
+	if err != nil {
+		return err
+	}
+	var off int64
+	write := func(b []byte) error {
+		if len(b) == 0 {
+			return nil
+		}
+		if _, err := fh.WriteAt(b, off); err != nil {
+			return err
+		}
+		off += int64(len(b))
+		return nil
+	}
+	// Rank 0's own data first, then each task in rank order, batch by
+	// batch (gather and write alternate, serializing all I/O).
+	if err := write(data); err != nil {
+		fh.Close()
+		return err
+	}
+	for r := 1; r < comm.Size(); r++ {
+		sz := decodeI64(comm.Recv(r, tag))
+		for got := int64(0); got < sz; {
+			comm.Send(r, tag+1, nil)
+			b := comm.Recv(r, tag+2)
+			if err := write(b); err != nil {
+				fh.Close()
+				return err
+			}
+			got += int64(len(b))
+		}
+	}
+	return fh.Close()
+}
+
+// RestartSingleSequential reads a rank-ordered single file and scatters
+// each task's records (the read-side mirror of the original approach).
+func RestartSingleSequential(comm *mpi.Comm, fsys fsio.FileSystem, name string, s *System) error {
+	const tag = 7200
+	mine := int64(len(s.Particles) * ParticleBytes)
+	counts := comm.GatherInt64(0, mine)
+	if comm.Rank() != 0 {
+		return s.DecodeAll(comm.Recv(0, tag))
+	}
+	fh, err := fsys.Open(name)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	var off int64
+	for r := 0; r < comm.Size(); r++ {
+		b := make([]byte, counts[r])
+		if _, err := fh.ReadAt(b, off); err != nil {
+			return err
+		}
+		off += counts[r]
+		if r == 0 {
+			if err := s.DecodeAll(b); err != nil {
+				return err
+			}
+			continue
+		}
+		comm.Send(r, tag, b)
+	}
+	return nil
+}
+
+// CheckpointTaskLocal writes one physical file per task (the paper's
+// "multiple-file parallel" method); pattern must contain %d for the rank.
+func CheckpointTaskLocal(comm *mpi.Comm, fsys fsio.FileSystem, pattern string, s *System) error {
+	fh, err := fsys.Create(fmt.Sprintf(pattern, comm.Rank()))
+	if err != nil {
+		return err
+	}
+	data := s.EncodeAll()
+	if _, err := fh.WriteAt(data, 0); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// RestartTaskLocal reads one physical file per task.
+func RestartTaskLocal(comm *mpi.Comm, fsys fsio.FileSystem, pattern string, s *System) error {
+	fh, err := fsys.Open(fmt.Sprintf(pattern, comm.Rank()))
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	sz, err := fh.Size()
+	if err != nil {
+		return err
+	}
+	data := make([]byte, sz)
+	if _, err := fh.ReadAt(data, 0); err != nil {
+		return err
+	}
+	return s.DecodeAll(data)
+}
+
+func encodeI64(v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return b[:]
+}
+
+func decodeI64(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

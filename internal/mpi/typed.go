@@ -1,0 +1,102 @@
+package mpi
+
+import "encoding/binary"
+
+// encodeInt64s packs vals little-endian.
+func encodeInt64s(vals []int64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+// decodeInt64s unpacks a little-endian int64 slice.
+func decodeInt64s(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("mpi: decodeInt64s on odd-length buffer")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func takeUvarint(b []byte) (uint64, int) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		panic("mpi: bad uvarint")
+	}
+	return v, n
+}
+
+// GatherInt64 gathers one int64 per rank at root (rank order); nil on
+// non-root ranks. SIONlib uses this shape to collect per-task chunk sizes
+// and written-byte counts at the master (paper §3.1).
+func (c *Comm) GatherInt64(root int, val int64) []int64 {
+	parts := c.Gatherv(root, encodeInt64s([]int64{val}))
+	if parts == nil {
+		return nil
+	}
+	out := make([]int64, len(parts))
+	for i, p := range parts {
+		out[i] = decodeInt64s(p)[0]
+	}
+	return out
+}
+
+// ScatterInt64 distributes one int64 per rank from root and returns the
+// caller's value. SIONlib uses this shape to hand each task its chunk start
+// address (paper §3.1).
+func (c *Comm) ScatterInt64(root int, vals []int64) int64 {
+	var parts [][]byte
+	if c.rank == root {
+		parts = make([][]byte, len(vals))
+		for i, v := range vals {
+			parts[i] = encodeInt64s([]int64{v})
+		}
+	}
+	return decodeInt64s(c.Scatterv(root, parts))[0]
+}
+
+// GatherInt64Slice gathers a variable-length int64 slice per rank at root.
+func (c *Comm) GatherInt64Slice(root int, vals []int64) [][]int64 {
+	parts := c.Gatherv(root, encodeInt64s(vals))
+	if parts == nil {
+		return nil
+	}
+	out := make([][]int64, len(parts))
+	for i, p := range parts {
+		out[i] = decodeInt64s(p)
+	}
+	return out
+}
+
+// ScatterInt64Slice distributes one variable-length int64 slice per rank
+// from root and returns the caller's slice.
+func (c *Comm) ScatterInt64Slice(root int, vals [][]int64) []int64 {
+	var parts [][]byte
+	if c.rank == root {
+		parts = make([][]byte, len(vals))
+		for i, v := range vals {
+			parts[i] = encodeInt64s(v)
+		}
+	}
+	return decodeInt64s(c.Scatterv(root, parts))
+}
+
+// BcastInt64s broadcasts an int64 slice from root.
+func (c *Comm) BcastInt64s(root int, vals []int64) []int64 {
+	var enc []byte
+	if c.rank == root {
+		enc = encodeInt64s(vals)
+	}
+	return decodeInt64s(c.Bcast(root, enc))
+}

@@ -1,0 +1,76 @@
+package simfs
+
+import "testing"
+
+func TestProfilesInternallyConsistent(t *testing.T) {
+	for _, p := range []*Profile{Jugene(), Jaguar()} {
+		if p.FSBlockSize <= 0 || p.NServers <= 0 || p.ServerBW <= 0 {
+			t.Fatalf("%s: degenerate data path %+v", p.Name, p)
+		}
+		if p.DefaultStripeCount < 1 || p.DefaultStripeCount > p.NServers {
+			t.Fatalf("%s: stripe count %d outside 1..%d", p.Name, p.DefaultStripeCount, p.NServers)
+		}
+		if p.CreateBase <= p.OpenBase {
+			t.Fatalf("%s: creating must cost more than opening", p.Name)
+		}
+		if p.TasksPerClient < 1 || p.ClientBW <= 0 {
+			t.Fatalf("%s: degenerate client path", p.Name)
+		}
+	}
+}
+
+func TestJugeneMatchesPaperHardware(t *testing.T) {
+	p := Jugene()
+	if p.FSBlockSize != 2<<20 {
+		t.Fatalf("GPFS block size %d, paper says 2 MB", p.FSBlockSize)
+	}
+	// 6 GB/s aggregate (paper §4: "maximum bandwidth ... is 6 GB/s").
+	agg := float64(p.NServers) * p.ServerBW
+	if agg < 5.9e9 || agg > 6.1e9 {
+		t.Fatalf("aggregate bandwidth %.2e, want ≈6 GB/s", agg)
+	}
+	if p.LockRevokeWrite <= 0 {
+		t.Fatal("GPFS block-lock revocation must cost time (Table 1)")
+	}
+}
+
+func TestJaguarMatchesPaperHardware(t *testing.T) {
+	p := Jaguar()
+	if p.NServers != 72 {
+		t.Fatalf("OST count %d, paper says 72", p.NServers)
+	}
+	agg := float64(p.NServers) * p.ServerBW
+	if agg < 39e9 || agg > 41e9 {
+		t.Fatalf("aggregate bandwidth %.2e, want ≈40 GB/s", agg)
+	}
+	if p.DefaultStripeCount != 4 {
+		t.Fatalf("default stripe count %d, paper says 4", p.DefaultStripeCount)
+	}
+	if p.LockRevokeWrite != 0 {
+		t.Fatal("paper: alignment effect not confirmed on Lustre")
+	}
+	if p.CacheBoost <= 0 {
+		t.Fatal("Jaguar reads must be cache-boostable (Fig. 5b)")
+	}
+}
+
+func TestCreateCostGrowsWithDirectorySize(t *testing.T) {
+	p := Jugene()
+	if p.createCost(100000) <= p.createCost(10) {
+		t.Fatal("create cost must grow with directory size")
+	}
+	if p.createCost(0) != p.CreateBase {
+		t.Fatal("empty directory must cost the base")
+	}
+}
+
+func TestClientOf(t *testing.T) {
+	p := Jugene()
+	if p.clientOf(0) != 0 || p.clientOf(p.TasksPerClient) != 1 {
+		t.Fatal("client mapping broken")
+	}
+	q := &Profile{TasksPerClient: 1}
+	if q.clientOf(17) != 17 {
+		t.Fatal("1 task/client must map identity")
+	}
+}

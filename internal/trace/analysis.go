@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// Additional post-mortem analyses in the spirit of Scalasca's pattern
+// search: a profile summary per rank, a global (reduced) profile, and a
+// late-receiver search complementing the late-sender one.
+
+// Profile summarizes one rank's trace.
+type Profile struct {
+	Rank       int
+	Events     int
+	Regions    map[uint32]float64 // inclusive time per region
+	BytesSent  uint64
+	BytesRecvd uint64
+	Sends      int
+	Recvs      int
+	Span       float64 // last timestamp - first timestamp
+}
+
+// BuildProfile computes one rank's profile from its events.
+func BuildProfile(rank int, events []Event) *Profile {
+	p := &Profile{Rank: rank, Events: len(events), Regions: RegionTime(events)}
+	if len(events) > 0 {
+		p.Span = events[len(events)-1].Time - events[0].Time
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case KindSend:
+			p.Sends++
+			p.BytesSent += e.Bytes
+		case KindRecv:
+			p.Recvs++
+			p.BytesRecvd += e.Bytes
+		}
+	}
+	return p
+}
+
+// GlobalProfile is the reduction of all ranks' profiles (the "global
+// analysis result" of the paper's Fig. 7 workflow).
+type GlobalProfile struct {
+	Ranks      int
+	Events     int64
+	Sends      int64
+	BytesSent  uint64
+	RegionTime map[uint32]float64 // summed over ranks
+	MaxSpan    float64
+}
+
+// ReduceProfiles gathers every rank's profile at rank 0 of comm and
+// returns the global profile there (nil elsewhere).
+func ReduceProfiles(comm *mpi.Comm, p *Profile) *GlobalProfile {
+	// Flatten the per-rank profile into int64s for the gather.
+	flat := []int64{
+		int64(p.Events), int64(p.Sends), int64(p.BytesSent),
+		int64(p.Span * 1e9),
+		int64(len(p.Regions)),
+	}
+	regs := make([]uint32, 0, len(p.Regions))
+	for r := range p.Regions {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		flat = append(flat, int64(r), int64(p.Regions[r]*1e9))
+	}
+	all := comm.GatherInt64Slice(0, flat)
+	if all == nil {
+		return nil
+	}
+	g := &GlobalProfile{Ranks: comm.Size(), RegionTime: make(map[uint32]float64)}
+	for _, f := range all {
+		g.Events += f[0]
+		g.Sends += f[1]
+		g.BytesSent += uint64(f[2])
+		if span := float64(f[3]) / 1e9; span > g.MaxSpan {
+			g.MaxSpan = span
+		}
+		nreg := int(f[4])
+		for i := 0; i < nreg; i++ {
+			g.RegionTime[uint32(f[5+2*i])] += float64(f[6+2*i]) / 1e9
+		}
+	}
+	return g
+}
+
+// Format renders the global profile as text.
+func (g *GlobalProfile) Format(w io.Writer) {
+	fmt.Fprintf(w, "ranks:       %d\n", g.Ranks)
+	fmt.Fprintf(w, "events:      %d\n", g.Events)
+	fmt.Fprintf(w, "sends:       %d (%d bytes)\n", g.Sends, g.BytesSent)
+	fmt.Fprintf(w, "max span:    %.3fs\n", g.MaxSpan)
+	regs := make([]uint32, 0, len(g.RegionTime))
+	for r := range g.RegionTime {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		fmt.Fprintf(w, "region %4d: %.3fs inclusive (summed over ranks)\n", r, g.RegionTime[r])
+	}
+}
+
+// AnalyzeLateReceivers is the mirror image of AnalyzeLateSenders: it
+// reports sends that had to wait because the matching receive was posted
+// late (relevant for synchronous/rendezvous sends).
+func AnalyzeLateReceivers(comm *mpi.Comm, load func(rank int) ([]Event, error)) ([]WaitState, error) {
+	events, err := load(comm.Rank())
+	if err != nil {
+		return nil, err
+	}
+	const tag = 8400
+	// Forward my receive events to the senders.
+	bySrc := make(map[int][]byte)
+	for _, e := range events {
+		if e.Kind == KindRecv {
+			rec := e
+			bySrc[int(e.Peer)] = rec.Encode(bySrc[int(e.Peer)])
+		}
+	}
+	for peer := 0; peer < comm.Size(); peer++ {
+		if peer == comm.Rank() {
+			continue
+		}
+		comm.Send(peer, tag, bySrc[peer])
+	}
+	incoming := map[int][]Event{}
+	self := bySrc[comm.Rank()]
+	for len(self) > 0 {
+		e, _ := DecodeEvent(self)
+		incoming[comm.Rank()] = append(incoming[comm.Rank()], e)
+		self = self[EventBytes:]
+	}
+	for peer := 0; peer < comm.Size(); peer++ {
+		if peer == comm.Rank() {
+			continue
+		}
+		buf := comm.Recv(peer, tag)
+		for len(buf) > 0 {
+			e, err := DecodeEvent(buf)
+			if err != nil {
+				return nil, err
+			}
+			incoming[peer] = append(incoming[peer], e)
+			buf = buf[EventBytes:]
+		}
+	}
+	cursor := map[[2]uint32]int{}
+	var waits []WaitState
+	for _, e := range events {
+		if e.Kind != KindSend {
+			continue
+		}
+		recvs := incoming[int(e.Peer)]
+		key := [2]uint32{e.Peer, e.Tag}
+		idx := cursor[key]
+		seen := 0
+		var match *Event
+		for i := range recvs {
+			if recvs[i].Tag == e.Tag {
+				if seen == idx {
+					match = &recvs[i]
+					break
+				}
+				seen++
+			}
+		}
+		cursor[key] = idx + 1
+		if match == nil {
+			continue
+		}
+		if wait := match.Time - e.Time; wait > 0 {
+			waits = append(waits, WaitState{
+				Recver: int(e.Peer), Sender: comm.Rank(), Tag: e.Tag, WaitTime: wait,
+			})
+		}
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i].WaitTime > waits[j].WaitTime })
+	return waits, nil
+}

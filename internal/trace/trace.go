@@ -1,0 +1,385 @@
+// Package trace is a miniature stand-in for the Scalasca measurement
+// system of the paper's §5.2: each task records local events (region
+// enter/leave, message send/receive) into a collection buffer, compresses
+// them with zlib (as Scalasca's tracing module does), and writes them at
+// measurement finalization either to physical task-local files or into a
+// SIONlib multifile. A post-mortem analyzer reads the traces back — the
+// SIONlib path uses the serial task-local view, exactly like the paper's
+// trace analyzer — and searches for late-sender wait states.
+package trace
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// Kind enumerates event record types.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindEnter Kind = iota + 1
+	KindLeave
+	KindSend
+	KindRecv
+)
+
+// EventBytes is the fixed encoded size of one event record.
+const EventBytes = 29
+
+// Event is one trace record. Time is the task-local timestamp; Region
+// identifies the code region for Enter/Leave; Peer/Tag/Bytes describe the
+// message for Send/Recv.
+type Event struct {
+	Kind   Kind
+	Time   float64
+	Region uint32
+	Peer   uint32
+	Tag    uint32
+	Bytes  uint64
+}
+
+// Encode appends the record to dst.
+func (e *Event) Encode(dst []byte) []byte {
+	var buf [EventBytes]byte
+	buf[0] = byte(e.Kind)
+	le := binary.LittleEndian
+	le.PutUint64(buf[1:], math.Float64bits(e.Time))
+	le.PutUint32(buf[9:], e.Region)
+	le.PutUint32(buf[13:], e.Peer)
+	le.PutUint32(buf[17:], e.Tag)
+	le.PutUint64(buf[21:], e.Bytes)
+	return append(dst, buf[:]...)
+}
+
+// DecodeEvent parses one record.
+func DecodeEvent(src []byte) (Event, error) {
+	if len(src) < EventBytes {
+		return Event{}, fmt.Errorf("trace: short event record (%d bytes)", len(src))
+	}
+	le := binary.LittleEndian
+	e := Event{
+		Kind:   Kind(src[0]),
+		Time:   math.Float64frombits(le.Uint64(src[1:])),
+		Region: le.Uint32(src[9:]),
+		Peer:   le.Uint32(src[13:]),
+		Tag:    le.Uint32(src[17:]),
+		Bytes:  le.Uint64(src[21:]),
+	}
+	if e.Kind < KindEnter || e.Kind > KindRecv {
+		return Event{}, fmt.Errorf("trace: bad event kind %d", e.Kind)
+	}
+	return e, nil
+}
+
+// Tracer collects one task's events in memory (Scalasca's collection
+// buffer) and flushes them, zlib-compressed, at finalization.
+type Tracer struct {
+	rank   int
+	events []Event
+	clock  float64
+}
+
+// NewTracer creates a tracer for one task.
+func NewTracer(rank int) *Tracer { return &Tracer{rank: rank} }
+
+// Advance moves the task-local clock (models compute time between events).
+func (t *Tracer) Advance(dt float64) { t.clock += dt }
+
+// Enter records entering a region.
+func (t *Tracer) Enter(region uint32) {
+	t.events = append(t.events, Event{Kind: KindEnter, Time: t.clock, Region: region})
+}
+
+// Leave records leaving a region.
+func (t *Tracer) Leave(region uint32) {
+	t.events = append(t.events, Event{Kind: KindLeave, Time: t.clock, Region: region})
+}
+
+// Send records a message send.
+func (t *Tracer) Send(peer, tag uint32, bytes uint64) {
+	t.events = append(t.events, Event{Kind: KindSend, Time: t.clock, Peer: peer, Tag: tag, Bytes: bytes})
+}
+
+// Recv records a message receive completing at the current clock.
+func (t *Tracer) Recv(peer, tag uint32, bytes uint64) {
+	t.events = append(t.events, Event{Kind: KindRecv, Time: t.clock, Peer: peer, Tag: tag, Bytes: bytes})
+}
+
+// Events returns the collected events (for tests).
+func (t *Tracer) Events() []Event { return t.events }
+
+// EncodedSize returns the uncompressed byte size of the buffer.
+func (t *Tracer) EncodedSize() int64 { return int64(len(t.events) * EventBytes) }
+
+// encode serializes and compresses the buffer.
+func (t *Tracer) encode() ([]byte, error) {
+	raw := make([]byte, 0, len(t.events)*EventBytes)
+	for i := range t.events {
+		raw = t.events[i].Encode(raw)
+	}
+	var z bytes.Buffer
+	zw := zlib.NewWriter(&z)
+	if _, err := zw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return z.Bytes(), nil
+}
+
+func decodeStream(r io.Reader) ([]Event, error) {
+	zr, err := zlib.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: opening compressed stream: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decompressing: %w", err)
+	}
+	zr.Close()
+	if len(raw)%EventBytes != 0 {
+		return nil, fmt.Errorf("trace: stream length %d not a record multiple", len(raw))
+	}
+	out := make([]Event, 0, len(raw)/EventBytes)
+	for len(raw) > 0 {
+		e, err := DecodeEvent(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		raw = raw[EventBytes:]
+	}
+	return out, nil
+}
+
+// --- Back-ends ----------------------------------------------------------------
+
+// FlushSION writes the compressed buffer into a SIONlib multifile
+// (collective). Like the paper's Scalasca integration, the chunk size is
+// set to the buffer size so a single block suffices.
+func FlushSION(comm *mpi.Comm, fsys fsio.FileSystem, name string, t *Tracer, nfiles int) error {
+	enc, err := t.encode()
+	if err != nil {
+		return err
+	}
+	chunk := int64(len(enc))
+	if chunk == 0 {
+		chunk = 1
+	}
+	f, err := sion.ParOpen(comm, fsys, name, sion.WriteMode, &sion.Options{ChunkSize: chunk, NFiles: nfiles})
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// FlushTaskLocal writes the compressed buffer to a per-task physical file
+// (pattern contains %d for the rank).
+func FlushTaskLocal(fsys fsio.FileSystem, pattern string, t *Tracer) error {
+	fh, err := fsys.Create(fmt.Sprintf(pattern, t.rank))
+	if err != nil {
+		return err
+	}
+	enc, err := t.encode()
+	if err != nil {
+		fh.Close()
+		return err
+	}
+	if _, err := fh.WriteAt(enc, 0); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// ReadSION loads one rank's events from a multifile via the serial
+// task-local view (paper §5.2: the analyzer "makes parallel use of the
+// serial interface in the task-local view mode").
+func ReadSION(fsys fsio.FileSystem, name string, rank int) ([]Event, error) {
+	f, err := sion.OpenRank(fsys, name, rank)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decodeStream(f)
+}
+
+// ReadTaskLocal loads one rank's events from its physical trace file.
+func ReadTaskLocal(fsys fsio.FileSystem, pattern string, rank int) ([]Event, error) {
+	fh, err := fsys.Open(fmt.Sprintf(pattern, rank))
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	sz, err := fh.Size()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, sz)
+	if _, err := fh.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return decodeStream(bytes.NewReader(buf))
+}
+
+// --- Analysis -----------------------------------------------------------------
+
+// WaitState is one detected late-sender inefficiency: the receiver posted
+// its receive before the matching send left the sender (Scalasca's
+// flagship wait-state pattern).
+type WaitState struct {
+	Recver   int
+	Sender   int
+	Tag      uint32
+	WaitTime float64
+}
+
+// RegionTime aggregates inclusive time per region for one rank.
+func RegionTime(events []Event) map[uint32]float64 {
+	out := make(map[uint32]float64)
+	open := make(map[uint32][]float64)
+	for _, e := range events {
+		switch e.Kind {
+		case KindEnter:
+			open[e.Region] = append(open[e.Region], e.Time)
+		case KindLeave:
+			st := open[e.Region]
+			if len(st) == 0 {
+				continue
+			}
+			out[e.Region] += e.Time - st[len(st)-1]
+			open[e.Region] = st[:len(st)-1]
+		}
+	}
+	return out
+}
+
+// AnalyzeLateSenders runs the parallel wait-state search: every rank loads
+// its own trace (via load), forwards its send events to the receivers, and
+// matches them with its receive events in order, like Scalasca's parallel
+// trace analyzer replaying the communication.
+func AnalyzeLateSenders(comm *mpi.Comm, load func(rank int) ([]Event, error)) ([]WaitState, error) {
+	events, err := load(comm.Rank())
+	if err != nil {
+		return nil, err
+	}
+	const tag = 8300
+	// Group my send timestamps by destination.
+	byDst := make(map[int][]byte)
+	for _, e := range events {
+		if e.Kind == KindSend {
+			rec := e
+			byDst[int(e.Peer)] = rec.Encode(byDst[int(e.Peer)])
+		}
+	}
+	for peer := 0; peer < comm.Size(); peer++ {
+		if peer == comm.Rank() {
+			continue
+		}
+		comm.Send(peer, tag, byDst[peer])
+	}
+	// Collect send events destined to me (including my self-sends).
+	incoming := map[int][]Event{}
+	selfSends := byDst[comm.Rank()]
+	for len(selfSends) > 0 {
+		e, _ := DecodeEvent(selfSends)
+		incoming[comm.Rank()] = append(incoming[comm.Rank()], e)
+		selfSends = selfSends[EventBytes:]
+	}
+	for peer := 0; peer < comm.Size(); peer++ {
+		if peer == comm.Rank() {
+			continue
+		}
+		buf := comm.Recv(peer, tag)
+		for len(buf) > 0 {
+			e, err := DecodeEvent(buf)
+			if err != nil {
+				return nil, err
+			}
+			incoming[peer] = append(incoming[peer], e)
+			buf = buf[EventBytes:]
+		}
+	}
+	// Match my receives with the sends, in (peer, tag) FIFO order.
+	cursor := map[[2]uint32]int{} // (peer,tag) -> next unmatched send
+	var waits []WaitState
+	for _, e := range events {
+		if e.Kind != KindRecv {
+			continue
+		}
+		sends := incoming[int(e.Peer)]
+		key := [2]uint32{e.Peer, e.Tag}
+		idx := cursor[key]
+		// Find the idx-th send with this tag.
+		seen := 0
+		var match *Event
+		for i := range sends {
+			if sends[i].Tag == e.Tag {
+				if seen == idx {
+					match = &sends[i]
+					break
+				}
+				seen++
+			}
+		}
+		cursor[key] = idx + 1
+		if match == nil {
+			continue
+		}
+		if wait := match.Time - e.Time; wait > 0 {
+			waits = append(waits, WaitState{
+				Recver: comm.Rank(), Sender: int(e.Peer), Tag: e.Tag, WaitTime: wait,
+			})
+		}
+	}
+	sort.Slice(waits, func(i, j int) bool { return waits[i].WaitTime > waits[j].WaitTime })
+	return waits, nil
+}
+
+// --- Workload generation --------------------------------------------------------
+
+// SMGWorkload fills the tracer with an SMG2000-like event stream: nested
+// solver regions with halo-exchange communication to grid neighbours,
+// sized so the uncompressed buffer reaches approximately targetBytes.
+func SMGWorkload(t *Tracer, rank, size int, targetBytes int64) {
+	const (
+		regionSolve  = 1
+		regionSmooth = 2
+		regionComm   = 3
+	)
+	iterations := int(targetBytes / EventBytes / 8)
+	if iterations < 1 {
+		iterations = 1
+	}
+	left := uint32((rank + size - 1) % size)
+	right := uint32((rank + 1) % size)
+	for it := 0; it < iterations; it++ {
+		t.Enter(regionSolve)
+		t.Advance(0.001)
+		t.Enter(regionSmooth)
+		t.Advance(0.003)
+		t.Leave(regionSmooth)
+		t.Enter(regionComm)
+		t.Send(right, uint32(it), 4096)
+		t.Advance(0.0005)
+		t.Recv(left, uint32(it), 4096)
+		t.Leave(regionComm)
+		t.Advance(0.0005)
+		t.Leave(regionSolve)
+	}
+}

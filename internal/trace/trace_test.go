@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+func TestEventEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(kind uint8, time float64, region, peer, tag uint32, bytes uint64) bool {
+		k := Kind(kind%4) + KindEnter
+		e := Event{Kind: k, Time: time, Region: region, Peer: peer, Tag: tag, Bytes: bytes}
+		enc := e.Encode(nil)
+		if len(enc) != EventBytes {
+			return false
+		}
+		got, err := DecodeEvent(enc)
+		if err != nil {
+			return false
+		}
+		if math.IsNaN(time) {
+			return got.Kind == e.Kind
+		}
+		return got == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	e := Event{Kind: KindEnter}
+	enc := e.Encode(nil)
+	enc[0] = 99
+	if _, err := DecodeEvent(enc); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestTracerCollectsAndSizes(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enter(1)
+	tr.Advance(0.5)
+	tr.Send(1, 7, 100)
+	tr.Recv(1, 8, 100)
+	tr.Leave(1)
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("events = %d", got)
+	}
+	if tr.EncodedSize() != 4*EventBytes {
+		t.Fatalf("EncodedSize = %d", tr.EncodedSize())
+	}
+	if tr.Events()[3].Time != 0.5 {
+		t.Fatalf("clock not applied: %v", tr.Events()[3])
+	}
+}
+
+func TestFlushReadSIONAndTaskLocal(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 4
+	mpi.Run(n, func(c *mpi.Comm) {
+		tr := NewTracer(c.Rank())
+		SMGWorkload(tr, c.Rank(), n, 8192)
+		if err := FlushSION(c, fsys, "trace.sion", tr, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := FlushTaskLocal(fsys, "trace-%d.z", tr); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+	for r := 0; r < n; r++ {
+		a, err := ReadSION(fsys, "trace.sion", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadTaskLocal(fsys, "trace-%d.z", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) == 0 || len(a) != len(b) {
+			t.Fatalf("rank %d: SION %d events, task-local %d", r, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("rank %d: event %d differs between back-ends", r, i)
+			}
+		}
+	}
+}
+
+func TestRegionTime(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Enter(1)
+	tr.Advance(2)
+	tr.Enter(2)
+	tr.Advance(3)
+	tr.Leave(2)
+	tr.Advance(1)
+	tr.Leave(1)
+	rt := RegionTime(tr.Events())
+	if math.Abs(rt[1]-6) > 1e-12 || math.Abs(rt[2]-3) > 1e-12 {
+		t.Fatalf("region times = %v", rt)
+	}
+}
+
+// A deliberately late sender must be detected by the parallel analysis.
+func TestAnalyzeLateSenders(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 2
+	mpi.Run(n, func(c *mpi.Comm) {
+		tr := NewTracer(c.Rank())
+		if c.Rank() == 0 {
+			// Sender dawdles: send happens at t=5.
+			tr.Advance(5)
+			tr.Send(1, 1, 64)
+		} else {
+			// Receiver posts the receive at t=1 → 4s late-sender wait.
+			tr.Advance(1)
+			tr.Recv(0, 1, 64)
+		}
+		if err := FlushSION(c, fsys, "ls.sion", tr, 1); err != nil {
+			t.Error(err)
+			return
+		}
+	})
+	mpi.Run(n, func(c *mpi.Comm) {
+		waits, err := AnalyzeLateSenders(c, func(rank int) ([]Event, error) {
+			return ReadSION(fsys, "ls.sion", rank)
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 1 {
+			if len(waits) != 1 {
+				t.Errorf("rank 1: %d wait states, want 1", len(waits))
+				return
+			}
+			w := waits[0]
+			if w.Sender != 0 || w.Recver != 1 || math.Abs(w.WaitTime-4) > 1e-9 {
+				t.Errorf("wait state = %+v", w)
+			}
+		} else if len(waits) != 0 {
+			t.Errorf("rank 0: unexpected wait states %v", waits)
+		}
+	})
+}
+
+// SMG workload ring communication: every receive eventually matches, and
+// the analyzer completes on all ranks without error.
+func TestAnalyzeSMGWorkload(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 5
+	mpi.Run(n, func(c *mpi.Comm) {
+		tr := NewTracer(c.Rank())
+		SMGWorkload(tr, c.Rank(), n, 4096)
+		if err := FlushSION(c, fsys, "smg.sion", tr, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	mpi.Run(n, func(c *mpi.Comm) {
+		if _, err := AnalyzeLateSenders(c, func(rank int) ([]Event, error) {
+			return ReadSION(fsys, "smg.sion", rank)
+		}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestCompressionIsEffective(t *testing.T) {
+	tr := NewTracer(0)
+	SMGWorkload(tr, 0, 4, 1<<16)
+	enc, err := tr.encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(enc))*3 > tr.EncodedSize() {
+		t.Fatalf("zlib compressed %d of %d bytes: ineffective", len(enc), tr.EncodedSize())
+	}
+}
+
+func TestBuildProfileAndReduce(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 4
+	mpi.Run(n, func(c *mpi.Comm) {
+		tr := NewTracer(c.Rank())
+		SMGWorkload(tr, c.Rank(), n, 4096)
+		if err := FlushSION(c, fsys, "p.sion", tr, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	mpi.Run(n, func(c *mpi.Comm) {
+		events, err := ReadSION(fsys, "p.sion", c.Rank())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p := BuildProfile(c.Rank(), events)
+		if p.Sends == 0 || p.Recvs == 0 || p.Events != len(events) {
+			t.Errorf("rank %d: profile %+v", c.Rank(), p)
+		}
+		g := ReduceProfiles(c, p)
+		if c.Rank() == 0 {
+			if g == nil || g.Ranks != n {
+				t.Fatalf("global profile %+v", g)
+			}
+			if g.Events != int64(n*p.Events) {
+				t.Errorf("global events %d, want %d", g.Events, n*p.Events)
+			}
+			if g.Sends != int64(n*p.Sends) {
+				t.Errorf("global sends %d", g.Sends)
+			}
+			if len(g.RegionTime) == 0 {
+				t.Error("no region times in global profile")
+			}
+			var buf bytes.Buffer
+			g.Format(&buf)
+			if !bytes.Contains(buf.Bytes(), []byte("ranks:")) {
+				t.Error("Format output incomplete")
+			}
+		} else if g != nil {
+			t.Errorf("rank %d: non-root got global profile", c.Rank())
+		}
+	})
+}
+
+func TestAnalyzeLateReceivers(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 2
+	mpi.Run(n, func(c *mpi.Comm) {
+		tr := NewTracer(c.Rank())
+		if c.Rank() == 0 {
+			// Send posted at t=1; receiver not ready until t=6.
+			tr.Advance(1)
+			tr.Send(1, 3, 128)
+		} else {
+			tr.Advance(6)
+			tr.Recv(0, 3, 128)
+		}
+		if err := FlushSION(c, fsys, "lr.sion", tr, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	mpi.Run(n, func(c *mpi.Comm) {
+		waits, err := AnalyzeLateReceivers(c, func(rank int) ([]Event, error) {
+			return ReadSION(fsys, "lr.sion", rank)
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			if len(waits) != 1 || math.Abs(waits[0].WaitTime-5) > 1e-9 {
+				t.Errorf("late-receiver waits = %+v", waits)
+			}
+		} else if len(waits) != 0 {
+			t.Errorf("rank 1: unexpected waits %+v", waits)
+		}
+	})
+}

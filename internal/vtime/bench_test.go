@@ -1,0 +1,24 @@
+package vtime
+
+import "testing"
+
+func BenchmarkEngine10kProcsOneHop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		s := NewServer("x")
+		for p := 0; p < 10000; p++ {
+			e.Spawn(0, func(p *Proc) { s.Use(p, 0.001) })
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkAdvanceYield(b *testing.B) {
+	e := NewEngine()
+	e.Spawn(0, func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Advance(0.001)
+		}
+	})
+	e.Run()
+}

@@ -1,0 +1,94 @@
+package vtime
+
+import "fmt"
+
+// Server is a FIFO queueing resource: each Use occupies the server
+// exclusively for a service duration, and requests issued while the server
+// is busy wait their turn. Because the engine only runs the process with the
+// globally minimal clock, the simple availability-time update below is
+// causally correct: no process can later issue a request in the past.
+type Server struct {
+	Name  string
+	avail float64 // next time the server is free
+	busy  float64 // accumulated busy time (for utilization reporting)
+	uses  int64
+}
+
+// NewServer returns an idle server.
+func NewServer(name string) *Server { return &Server{Name: name} }
+
+// Use occupies the server for dur seconds starting no earlier than p's
+// current time, advancing p past any queueing delay plus the service time.
+// It returns the total delay experienced (wait + service).
+func (s *Server) Use(p *Proc, dur float64) float64 {
+	if dur < 0 {
+		panic(fmt.Sprintf("vtime: Server %q Use(%g) negative", s.Name, dur))
+	}
+	start := p.Now()
+	if s.avail > start {
+		start = s.avail
+	}
+	end := start + dur
+	s.avail = end
+	s.busy += dur
+	s.uses++
+	delay := end - p.Now()
+	p.Advance(delay)
+	return delay
+}
+
+// UseNoWaitFor occupies the server for dur seconds but advances p only to
+// the start of service plus latency lat (the request is handed off; the
+// server remains busy behind the scenes). Used for write-behind style
+// operations where the client does not wait for media completion.
+func (s *Server) UseNoWaitFor(p *Proc, dur, lat float64) float64 {
+	if dur < 0 || lat < 0 {
+		panic(fmt.Sprintf("vtime: Server %q UseNoWaitFor(%g,%g) negative", s.Name, dur, lat))
+	}
+	start := p.Now()
+	if s.avail > start {
+		start = s.avail
+	}
+	s.avail = start + dur
+	s.busy += dur
+	s.uses++
+	delay := start + lat - p.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	p.Advance(delay)
+	return delay
+}
+
+// Reserve books dur seconds of service starting no earlier than `at` and
+// returns the completion time, without advancing any process clock. It lets
+// a caller fan one logical operation out over several servers in parallel
+// (e.g. a striped write) and then advance its own clock to the maximum
+// completion time. `at` must not precede the calling process's clock
+// (callers pass p.Now()), which preserves the engine's causality guarantee.
+func (s *Server) Reserve(at, dur float64) float64 {
+	if dur < 0 {
+		panic(fmt.Sprintf("vtime: Server %q Reserve(%g) negative", s.Name, dur))
+	}
+	start := at
+	if s.avail > start {
+		start = s.avail
+	}
+	end := start + dur
+	s.avail = end
+	s.busy += dur
+	s.uses++
+	return end
+}
+
+// Avail reports the next time the server becomes free.
+func (s *Server) Avail() float64 { return s.avail }
+
+// BusyTime reports the accumulated service time.
+func (s *Server) BusyTime() float64 { return s.busy }
+
+// Uses reports the number of Use calls served.
+func (s *Server) Uses() int64 { return s.uses }
+
+// Reset returns the server to the idle state at time zero.
+func (s *Server) Reset() { s.avail, s.busy, s.uses = 0, 0, 0 }
