@@ -114,3 +114,13 @@ func BenchmarkTable2ScalascaActivation(b *testing.B) {
 		return lastFloat(r.Rows[len(r.Rows)-1], 3), "activation-speedup"
 	})
 }
+
+// BenchmarkTable3CollectiveIO regenerates the collective-I/O request-
+// reduction table; the metric is the direct/async-collective write-time
+// ratio (how much the async collective subsystem buys on the small-record
+// workload).
+func BenchmarkTable3CollectiveIO(b *testing.B) {
+	benchExperiment(b, "tab3", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[0], 5) / lastFloat(r.Rows[2], 5), "write-speedup"
+	})
+}

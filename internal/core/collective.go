@@ -1,139 +1,733 @@
 package sion
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
 
-// Collective write mode, modelled on SIONlib's collective I/O extension
-// (sion_coll_fwrite): when chunks are small, having every task issue its
-// own write requests wastes the file system's request path. In collective
-// mode, groups of consecutive local tasks designate their first member as
-// a collector; at close, members ship their buffered data to the
-// collector, which issues one large write per member region. Only the
-// collectors touch the file, cutting the number of writers by the group
-// factor while the multifile layout stays identical — a multifile written
-// collectively is indistinguishable from one written directly.
-//
-// Enabled via Options.CollectorGroup > 1. In collective mode, Write
-// buffers in memory; the data moves at Close.
-
-// Message tags for the collective exchange.
-const (
-	tagCollSize = 4201
-	tagCollData = 4202
-	tagCollDone = 4203
+	"repro/internal/fsio"
+	"repro/internal/vtime"
 )
 
-// collState holds a task's buffered data in collective mode.
-type collState struct {
-	group int // tasks per collector
-	buf   []byte
+// Collective I/O, modelled on SIONlib's collective extension
+// (sion_coll_fwrite) and its read-side counterpart: when chunks are small,
+// having every task issue its own file requests wastes the file system's
+// request path. Groups of consecutive local tasks designate their first
+// member as a collector; only the collectors open and touch the physical
+// file, cutting the number of clients by the group factor while the
+// multifile layout stays identical — a multifile written collectively is
+// byte-identical to one written directly.
+//
+// Three modes build on the same frame protocol:
+//
+//   - Synchronous collective write (Options.CollectorGroup, the original
+//     mode): members buffer everything and ship one final frame at Close;
+//     the collector issues one large write per member region.
+//   - Asynchronous collective write (Options.AsyncCollective): members
+//     stage data in double buffers of Options.AsyncFlushBytes and ship
+//     each full buffer immediately (sends are eager, so members never
+//     stall). The collector flushes frames in the background — a flusher
+//     goroutine with a bounded queue in real mode, opportunistic
+//     arrival-time draining in simulated mode (the vtime engine runs one
+//     process at a time, so background progress is made whenever the
+//     collector itself enters Write/Flush) — overlapping member
+//     computation with file I/O. Errors are deferred to Flush/Close.
+//   - Collective read (CollectorGroup in read mode): at open, each member
+//     sends its chunk geometry to its collector, which issues one large
+//     read per member chunk region and scatters the concatenated logical
+//     data; members then serve Read/ReadLogicalAt from memory without
+//     ever opening the physical file.
+//
+// Group sizing: a fixed CollectorGroup > 1, or CollectorAuto (-1) which
+// targets collector regions of autoCollectTargetBlocks FS blocks (see
+// autoCollectorGroup in options.go). The resolved size is computed once at
+// each physical file's master and scattered with the chunk geometry, so it
+// is consistent across the group even with per-task chunk sizes.
+
+// Message tags for the collective exchanges.
+const (
+	tagCollData = 4202 // write-side data frames (member → collector)
+	tagCollDone = 4203 // write-side completion status (collector → member)
+	tagCollReq  = 4204 // read-side region request (member → collector)
+	tagCollRead = 4205 // read-side data (collector → member)
+)
+
+// asyncQueueDepth bounds the collector's local frame queue in real mode:
+// the collector's own Write backpressures once this many staging buffers
+// are waiting for the flusher.
+const asyncQueueDepth = 4
+
+// asyncFlushCap bounds the auto-sized staging buffer (Options.AsyncFlushBytes
+// = 0): one chunk capacity, but never more than this.
+const asyncFlushCap = 4 << 20
+
+// collFrame is one unit of member data in flight to its collector. Frames
+// carry the member's chunk arithmetic so the collector needs no per-member
+// state: logical bytes [logicalOff, logicalOff+len(data)) of the member's
+// stream land in its chunk series (capacity bytes per block, block b's
+// chunk data starting at chunk0 + b*stride).
+type collFrame struct {
+	logicalOff int64
+	final      bool
+	chunk0     int64
+	capacity   int64
+	stride     int64
+	data       []byte
 }
 
-// collectiveEnabled reports whether this handle buffers for collection.
+const collFrameHdr = 6 * 8
+
+func (fr *collFrame) encode() []byte {
+	fin := int64(0)
+	if fr.final {
+		fin = 1
+	}
+	buf := encodeInt64s([]int64{fr.logicalOff, fin, fr.chunk0, fr.capacity, fr.stride, int64(len(fr.data))})
+	return append(buf, fr.data...)
+}
+
+func decodeCollFrame(raw []byte) (collFrame, error) {
+	if len(raw) < collFrameHdr {
+		return collFrame{}, fmt.Errorf("sion: collective frame truncated (%d bytes)", len(raw))
+	}
+	v := decodeInt64s(raw[:collFrameHdr])
+	if int64(len(raw)-collFrameHdr) != v[5] {
+		return collFrame{}, fmt.Errorf("sion: collective frame announced %d bytes, carries %d", v[5], len(raw)-collFrameHdr)
+	}
+	return collFrame{
+		logicalOff: v[0], final: v[1] != 0,
+		chunk0: v[2], capacity: v[3], stride: v[4],
+		data: raw[collFrameHdr:],
+	}, nil
+}
+
+// collState holds a task's collective-write state.
+type collState struct {
+	group   int   // tasks per collector
+	lead    int   // local rank of my group's collector
+	members []int // collector only: local ranks of the other group members
+	async   bool
+	quantum int64 // async staging-buffer size
+
+	// Member-side staging (every participant, the collector included).
+	buf     []byte
+	spare   []byte // double-buffer partner (members reuse; see collEmit)
+	shipped int64  // logical bytes already emitted as frames
+
+	// Collector-side flusher state.
+	queue  chan collFrame // real-mode bounded hand-off to the flusher
+	done   chan struct{}  // closed when the real-mode flusher exits
+	simf   *simFlusher    // sim-mode background flusher process
+	finals map[int]bool   // members whose final frame has been taken
+	mu     sync.Mutex     // guards ferr (flusher vs. Flush peeking)
+	ferr   error          // first deferred write error
+}
+
+// workerSpawner is implemented by file systems (simfs views) that can
+// host a background worker with its own cost-accounting context.
+type workerSpawner interface {
+	SpawnWorker(func(fsio.FileSystem, *vtime.Proc)) *vtime.Proc
+}
+
+// simFrame is a frame handed to the sim-mode flusher, stamped with the
+// virtual time of the hand-off (the flusher cannot write data before it
+// existed).
+type simFrame struct {
+	fr collFrame
+	at float64
+}
+
+// simFlusher is the simulated-mode analog of the real-mode flusher
+// goroutine: a vtime process spawned per collector that applies frames on
+// its own virtual clock, so collector file I/O overlaps the collector's
+// computation exactly as the background goroutine overlaps it on a real
+// machine. All fields are exchanged under the vtime engine's one-process-
+// at-a-time execution model.
+type simFlusher struct {
+	proc      *vtime.Proc
+	frames    []simFrame
+	closed    bool // no more frames will be enqueued
+	waiting   bool // flusher is blocked on an empty queue
+	closeWait bool // collector is blocked waiting for the flusher to finish
+	finished  bool
+}
+
+// collReadState serves a task's reads from the prefetched logical stream
+// its collector scattered at open.
+type collReadState struct {
+	buf  []byte
+	base []int64 // logical offset of each block's first byte (prefix sums)
+}
+
+// collectiveEnabled reports whether this write handle buffers for collection.
 func (f *File) collectiveEnabled() bool { return f.coll != nil }
 
-// collWrite buffers p (collective-mode Write path).
-func (f *File) collWrite(p []byte) (int, error) {
-	f.coll.buf = append(f.coll.buf, p...)
-	return len(p), nil
+// Collective reports the collector group size in effect for this handle
+// (0 = direct I/O) and whether the task acts as a collector.
+func (f *File) Collective() (group int, collector bool) {
+	return f.collGroup, f.collLead
 }
 
-// collClose runs the collection exchange and the collectors' writes.
-// Called from Close before the metadata gather; it fills f.blockBytes as
-// a direct write would have.
-func (f *File) collClose() error {
-	g := f.coll.group
+// initCollective arms collective write mode on a freshly opened handle.
+// group is the resolved size scattered by the file master.
+func (f *File) initCollective(group int, async bool, flushBytes int64) {
+	if group <= 1 || f.lcomm == nil {
+		return
+	}
 	lrank := f.lcomm.Rank()
-	lead := lrank - lrank%g // collector of my group
-	isLead := lrank == lead
-
-	if !isLead {
-		// Ship my buffered data and chunk arithmetic to the collector.
-		f.lcomm.Send(lead, tagCollSize, encodeInt64s([]int64{
-			int64(len(f.coll.buf)),
-			f.geo.chunkOff(geoIndex, 0),
-			f.geo.aligned[geoIndex],
-			f.geo.stride,
-		}))
-		f.lcomm.Send(lead, tagCollData, f.coll.buf)
-		// Receive my resulting per-block byte counts.
-		f.blockBytes = decodeInt64s(f.lcomm.Recv(lead, tagCollDone))
-		f.curBlock = len(f.blockBytes) - 1
-		f.pos = f.blockBytes[f.curBlock]
-		return nil
+	lead := lrank - lrank%group
+	c := &collState{group: group, lead: lead, async: async}
+	f.coll = c
+	f.collGroup = group
+	f.collLead = lrank == lead
+	if async {
+		c.quantum = flushBytes
+		if c.quantum == 0 {
+			c.quantum = f.geo.capacity(geoIndex)
+			if c.quantum > asyncFlushCap {
+				c.quantum = asyncFlushCap
+			}
+		}
 	}
-
-	// Collector: write my own buffer first, then each member's.
-	if err := f.writeRegion(f.geo.chunkOff(geoIndex, 0), f.geo.aligned[geoIndex], f.geo.stride, f.coll.buf, true); err != nil {
-		return err
+	if !f.collLead {
+		return
 	}
-	end := lead + g
+	end := lead + group
 	if end > f.lcomm.Size() {
 		end = f.lcomm.Size()
 	}
 	for m := lead + 1; m < end; m++ {
-		hdr := decodeInt64s(f.lcomm.Recv(m, tagCollSize))
-		data := f.lcomm.Recv(m, tagCollData)
-		if int64(len(data)) != hdr[0] {
-			return fmt.Errorf("sion: %s: collector got %d bytes from member %d, announced %d",
-				f.name, len(data), m, hdr[0])
+		c.members = append(c.members, m)
+	}
+	c.finals = make(map[int]bool, len(c.members))
+	if async {
+		if f.lcomm.Proc() == nil {
+			// Real mode: background flusher goroutine per collector.
+			c.done = make(chan struct{})
+			c.queue = make(chan collFrame, asyncQueueDepth)
+			go f.collFlusher()
+		} else if ws, ok := f.fsys.(workerSpawner); ok {
+			// Simulated mode: background flusher process per collector,
+			// with its own clock and its own handle on the physical file,
+			// so flushes overlap the collector's compute time.
+			c.simf = &simFlusher{}
+			c.simf.proc = ws.SpawnWorker(func(wfs fsio.FileSystem, p *vtime.Proc) {
+				f.runSimFlusher(wfs, p)
+			})
 		}
-		bb, err := f.writeRegionFor(hdr[1], hdr[2], hdr[3], data)
-		if err != nil {
+		// Otherwise (sim mode on a file system without worker support):
+		// frames are applied inline at emit/drain points.
+	}
+}
+
+// runSimFlusher is the body of the sim-mode background flusher process.
+func (f *File) runSimFlusher(wfs fsio.FileSystem, p *vtime.Proc) {
+	c := f.coll
+	sf := c.simf
+	fh, err := wfs.OpenRW(fileName(f.name, f.filenum))
+	if err != nil {
+		f.collNote(fmt.Errorf("sion: %s: async flusher open: %w", f.name, err))
+	}
+	for {
+		if len(sf.frames) == 0 {
+			if sf.closed {
+				break
+			}
+			sf.waiting = true
+			p.Block()
+			sf.waiting = false
+			continue
+		}
+		s := sf.frames[0]
+		sf.frames = sf.frames[1:]
+		if s.at > p.Now() {
+			p.AdvanceTo(s.at)
+		}
+		if fh != nil {
+			f.collNote(applyCollFrame(fh, f.name, s.fr))
+		}
+	}
+	if fh != nil {
+		if cerr := fh.Close(); cerr != nil {
+			f.collNote(cerr)
+		}
+	}
+	sf.finished = true
+	if sf.closeWait {
+		p.WakeAt(f.lcomm.Proc(), p.Now())
+	}
+}
+
+// simEnqueue hands a frame to the sim-mode flusher, waking it if idle.
+func (f *File) simEnqueue(fr collFrame) {
+	sf := f.coll.simf
+	p := f.lcomm.Proc()
+	sf.frames = append(sf.frames, simFrame{fr: fr, at: p.Now()})
+	if sf.waiting {
+		sf.waiting = false
+		p.WakeAt(sf.proc, p.Now())
+	}
+}
+
+// collWrite buffers p (collective-mode Write path). In async mode, full
+// staging buffers are emitted as frames immediately.
+func (f *File) collWrite(p []byte) (int, error) {
+	c := f.coll
+	total := len(p)
+	if !c.async {
+		c.buf = append(c.buf, p...)
+		return total, nil
+	}
+	for len(p) > 0 {
+		room := c.quantum - int64(len(c.buf))
+		w := int64(len(p))
+		if w > room {
+			w = room
+		}
+		c.buf = append(c.buf, p[:w]...)
+		p = p[w:]
+		if int64(len(c.buf)) == c.quantum {
+			if err := f.collEmit(false); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	// A collector in simulated mode makes background progress here: apply
+	// any member frames that have already arrived in virtual time.
+	if f.collLead && f.lcomm.Proc() != nil {
+		f.collDrainArrived()
+	}
+	return total, nil
+}
+
+// collEmit ships the current staging buffer as one frame. Members hand the
+// buffer to mpi.Send (which copies), so the two staging buffers can be
+// swapped and reused — the double-buffering that lets a member keep
+// writing while its previous buffer is in flight. The collector's own
+// frames keep their backing array (the real-mode flusher writes from it
+// concurrently), so the collector starts a fresh staging buffer instead.
+func (f *File) collEmit(final bool) error {
+	c := f.coll
+	fr := collFrame{
+		logicalOff: c.shipped,
+		final:      final,
+		chunk0:     f.geo.dataOff(geoIndex, 0),
+		capacity:   f.geo.capacity(geoIndex),
+		stride:     f.geo.stride,
+		data:       c.buf,
+	}
+	c.shipped += int64(len(c.buf))
+	if !f.collLead {
+		f.lcomm.Send(c.lead, tagCollData, fr.encode())
+		// Swap the staging buffers (on the first swap c.buf becomes nil,
+		// which append simply materializes on the next Write).
+		c.buf, c.spare = c.spare[:0], c.buf[:0]
+		return nil
+	}
+	if c.async && c.queue != nil { // real mode: bounded flusher queue
+		c.queue <- fr
+		c.buf = make([]byte, 0, c.quantum)
+		return nil
+	}
+	if c.async && c.simf != nil { // sim mode: background flusher process
+		f.simEnqueue(fr)
+		c.buf = make([]byte, 0, c.quantum)
+		return nil
+	}
+	// Collector applying its own data inline (sync mode, or async without
+	// a background worker).
+	err := applyCollFrame(f.fh, f.name, fr)
+	c.buf = c.buf[:0]
+	if err != nil {
+		f.collNote(err)
+	}
+	return err
+}
+
+// applyCollFrame writes one frame into its member's chunk series through
+// the given handle (the collector's own, or the sim flusher's).
+func applyCollFrame(fh fsio.File, name string, fr collFrame) error {
+	if fr.capacity <= 0 {
+		return fmt.Errorf("sion: %s: collective member chunk capacity %d", name, fr.capacity)
+	}
+	data := fr.data
+	block := fr.logicalOff / fr.capacity
+	pos := fr.logicalOff % fr.capacity
+	for len(data) > 0 {
+		w := int64(len(data))
+		if w > fr.capacity-pos {
+			w = fr.capacity - pos
+		}
+		off := fr.chunk0 + block*fr.stride + pos
+		if _, err := fh.WriteAt(data[:w], off); err != nil {
+			return fmt.Errorf("sion: %s: collective write: %w", name, err)
+		}
+		data = data[w:]
+		pos += w
+		if pos == fr.capacity {
+			block++
+			pos = 0
+		}
+	}
+	return nil
+}
+
+// collNote records a deferred flusher error (first one wins).
+func (f *File) collNote(err error) {
+	if err == nil {
+		return
+	}
+	c := f.coll
+	c.mu.Lock()
+	if c.ferr == nil {
+		c.ferr = err
+	}
+	c.mu.Unlock()
+}
+
+func (f *File) collErr() error {
+	c := f.coll
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ferr
+}
+
+// collTake decodes one raw member frame and routes it to the active
+// flusher (sim worker) or applies it in place (sync mode, real-mode
+// flusher goroutine, or the no-worker fallback).
+func (f *File) collTake(member int, raw []byte) {
+	fr, err := decodeCollFrame(raw)
+	if err != nil {
+		f.collNote(err)
+		f.coll.finals[member] = true // cannot resync with this member
+		return
+	}
+	if fr.final {
+		f.coll.finals[member] = true
+	}
+	if f.coll.simf != nil {
+		f.simEnqueue(fr)
+		return
+	}
+	f.collNote(applyCollFrame(f.fh, f.name, fr))
+}
+
+// collDrainArrived applies every member frame that is already available
+// (sim mode: whose virtual arrival time has passed) without blocking.
+func (f *File) collDrainArrived() {
+	c := f.coll
+	for _, m := range c.members {
+		for !c.finals[m] {
+			raw, ok := f.lcomm.TryRecv(m, tagCollData)
+			if !ok {
+				break
+			}
+			f.collTake(m, raw)
+		}
+	}
+}
+
+// collFlusher is the real-mode background flusher: one goroutine per
+// collector consuming the bounded local queue and polling member frames.
+// When the queue is closed (Close), it drains the remaining member frames
+// with blocking receives and exits.
+func (f *File) collFlusher() {
+	c := f.coll
+	defer close(c.done)
+	idle := 0
+	for {
+		worked := false
+		select {
+		case fr, ok := <-c.queue:
+			if !ok {
+				for _, m := range c.members {
+					for !c.finals[m] {
+						f.collTake(m, f.lcomm.Recv(m, tagCollData))
+					}
+				}
+				return
+			}
+			f.collNote(applyCollFrame(f.fh, f.name, fr))
+			worked = true
+		default:
+		}
+		for _, m := range c.members {
+			if c.finals[m] {
+				continue
+			}
+			if raw, ok := f.lcomm.TryRecv(m, tagCollData); ok {
+				f.collTake(m, raw)
+				worked = true
+			}
+		}
+		if worked {
+			idle = 0
+			continue
+		}
+		// Nothing to do: back off exponentially (20 µs … ~2.5 ms) so an
+		// idle flusher does not spin through mailbox locks during long
+		// compute phases between writes.
+		if idle < 7 {
+			idle++
+		}
+		time.Sleep(time.Duration(20<<idle) * time.Microsecond)
+	}
+}
+
+// collFlush implements Flush for collective write handles: async members
+// ship their partial staging buffer; async collectors additionally make
+// drain progress (sim mode) and surface any deferred error seen so far.
+// Synchronous collective mode moves data only at Close by design.
+func (f *File) collFlush() error {
+	c := f.coll
+	if !c.async {
+		return nil
+	}
+	if len(c.buf) > 0 {
+		if err := f.collEmit(false); err != nil {
 			return err
 		}
-		f.lcomm.Send(m, tagCollDone, encodeInt64s(bb))
+	}
+	if f.collLead {
+		if f.lcomm.Proc() != nil {
+			f.collDrainArrived()
+		}
+		return f.collErr()
 	}
 	return nil
 }
 
-// writeRegion writes the collector's own buffered data through the normal
-// chunk logic (self = true fills f.blockBytes directly).
-func (f *File) writeRegion(chunk0, aligned, stride int64, data []byte, self bool) error {
-	bb, err := f.writeRegionFor(chunk0, aligned, stride, data)
+// collClose finishes the collective write exchange. Members ship their
+// final frame and wait for the collector's status; the collector drains
+// every member to its final frame, writes everything, and acknowledges.
+// All participants then derive their per-block byte counts locally (the
+// chunk layout is a pure function of the byte total), exactly matching
+// what a direct writer would have recorded.
+func (f *File) collClose() error {
+	c := f.coll
+	if !f.collLead {
+		if err := f.collEmit(true); err != nil {
+			return err
+		}
+		f.collFinishBytes(c.shipped)
+		status := decodeInt64s(f.lcomm.Recv(c.lead, tagCollDone))[0]
+		if status != 0 {
+			return fmt.Errorf("sion: %s: collective write failed at collector %d (deferred write error)", f.name, c.lead)
+		}
+		return nil
+	}
+
+	// Collector: finish own data, then drain the members.
+	switch {
+	case c.async && c.queue != nil:
+		// Real mode: push the final frame, close the queue, and let the
+		// flusher goroutine finish the member drain before exiting.
+		fr := collFrame{
+			logicalOff: c.shipped, final: true,
+			chunk0:   f.geo.dataOff(geoIndex, 0),
+			capacity: f.geo.capacity(geoIndex),
+			stride:   f.geo.stride,
+			data:     c.buf,
+		}
+		c.shipped += int64(len(c.buf))
+		c.queue <- fr
+		close(c.queue)
+		<-c.done
+	case c.async && c.simf != nil:
+		// Sim mode: enqueue the final frame and the remaining member
+		// frames, then wait (in virtual time) for the flusher process.
+		f.collEmit(true)
+		for _, m := range c.members {
+			for !c.finals[m] {
+				f.collTake(m, f.lcomm.Recv(m, tagCollData))
+			}
+		}
+		sf := c.simf
+		sf.closed = true
+		p := f.lcomm.Proc()
+		if sf.waiting {
+			sf.waiting = false
+			p.WakeAt(sf.proc, p.Now())
+		}
+		if !sf.finished {
+			sf.closeWait = true
+			p.Block()
+		}
+	default:
+		// Inline apply (sync mode, or async without a worker); a write
+		// error is recorded by collEmit for the shared status, and the
+		// members are drained regardless so nobody deadlocks.
+		f.collEmit(true)
+		for _, m := range c.members {
+			for !c.finals[m] {
+				f.collTake(m, f.lcomm.Recv(m, tagCollData))
+			}
+		}
+	}
+	f.collFinishBytes(c.shipped)
+	err := f.collErr()
+	status := []int64{0}
 	if err != nil {
+		status[0] = 1
+	}
+	for _, m := range c.members {
+		f.lcomm.Send(m, tagCollDone, encodeInt64s(status))
+	}
+	return err
+}
+
+// collFinishBytes fills the write-side cursor state from the task's total
+// logical byte count, reproducing the per-block counts of a direct writer:
+// full chunks of `capacity` bytes, then the remainder (a task that wrote
+// nothing holds a single empty block, and an exact multiple of the
+// capacity leaves no trailing empty block).
+func (f *File) collFinishBytes(total int64) {
+	capacity := f.geo.capacity(geoIndex)
+	bb := []int64{}
+	for total > capacity {
+		bb = append(bb, capacity)
+		total -= capacity
+	}
+	bb = append(bb, total)
+	f.blockBytes = bb
+	f.curBlock = len(bb) - 1
+	f.pos = bb[f.curBlock]
+}
+
+// --- Collective read --------------------------------------------------------
+
+// collReadRequest is what a member sends its collector at open: where its
+// chunk data lives and how many bytes each block holds.
+func collReadRequest(dataOff0, stride int64, blockBytes []int64) []byte {
+	vals := append([]int64{dataOff0, stride, int64(len(blockBytes))}, blockBytes...)
+	return encodeInt64s(vals)
+}
+
+// collServeReads runs on a read-mode collector: for every group member,
+// read the member's used chunk bytes — one large read per chunk region,
+// concatenated in logical order — and ship the results behind a single
+// group-wide status word. The status is shared deliberately: a partial
+// failure (one member's region unreadable, or groupErr from the
+// collector's own stream) must fail the whole group's ParOpen, because a
+// member that succeeded while its peers error out would later hang in
+// Close's collective barrier waiting for handles that never existed.
+func (f *File) collServeReads(members []int, groupErr error) error {
+	firstErr := groupErr
+	replies := make([][]byte, len(members))
+	for i, m := range members {
+		req := decodeInt64s(f.lcomm.Recv(m, tagCollReq))
+		dataOff0, stride, nblocks := req[0], req[1], int(req[2])
+		bb := req[3 : 3+nblocks]
+		data, err := f.collReadRegions(dataOff0, stride, bb)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		replies[i] = data
+	}
+	status := int64(0)
+	if firstErr != nil {
+		status = 1
+	}
+	for i, m := range members {
+		f.lcomm.Send(m, tagCollRead, append(encodeInt64s([]int64{status}), replies[i]...))
+	}
+	return firstErr
+}
+
+// collReadRegions reads one task's logical stream: block b's used bytes
+// start at dataOff0 + b*stride.
+func (f *File) collReadRegions(dataOff0, stride int64, blockBytes []int64) ([]byte, error) {
+	var total int64
+	for _, n := range blockBytes {
+		total += n
+	}
+	buf := make([]byte, total)
+	var off int64
+	for b, n := range blockBytes {
+		if n == 0 {
+			continue
+		}
+		if _, err := f.fh.ReadAt(buf[off:off+n], dataOff0+int64(b)*stride); err != nil {
+			return buf, fmt.Errorf("sion: %s: collective read: %w", f.name, err)
+		}
+		off += n
+	}
+	return buf, nil
+}
+
+// initCollectiveRead wires the read-side exchange after the metadata
+// scatter: collectors open the physical file and fan member data out;
+// members receive their prefetched stream and never open the file.
+// It is collective over the lcomm group members: a collector that cannot
+// open or read the file answers every member with a failure status, so
+// the whole group's ParOpen fails instead of members blocking forever or
+// being handed fabricated zeros.
+func (f *File) initCollectiveRead(group int, physName string) error {
+	lrank := f.lcomm.Rank()
+	lead := lrank - lrank%group
+	f.collGroup = group
+	f.collLead = lrank == lead
+
+	if !f.collLead {
+		f.lcomm.Send(lead, tagCollReq,
+			collReadRequest(f.geo.dataOff(geoIndex, 0), f.geo.stride, f.readBytes))
+		reply := f.lcomm.Recv(lead, tagCollRead)
+		if status := decodeInt64s(reply[:8])[0]; status != 0 {
+			return fmt.Errorf("sion: %s: collective read failed at collector %d", f.name, lead)
+		}
+		f.setCollRead(reply[8:])
+		return nil
+	}
+
+	end := lead + group
+	if end > f.lcomm.Size() {
+		end = f.lcomm.Size()
+	}
+	var members []int
+	for m := lead + 1; m < end; m++ {
+		members = append(members, m)
+	}
+	fh, err := f.fsys.Open(physName)
+	if err != nil {
+		// Consume the members' requests and fail their opens.
+		for _, m := range members {
+			f.lcomm.Recv(m, tagCollReq)
+			f.lcomm.Send(m, tagCollRead, encodeInt64s([]int64{1}))
+		}
+		return fmt.Errorf("sion: ParOpen %s: opening physical file: %w", f.name, err)
+	}
+	f.fh = fh
+	// Read the collector's own stream first (one large read per chunk
+	// region); its error, like any member region's, fails the whole group.
+	own, ownErr := f.collReadRegions(f.geo.dataOff(geoIndex, 0), f.geo.stride, f.readBytes)
+	f.setCollRead(own)
+	return f.collServeReads(members, ownErr)
+}
+
+// setCollRead installs the prefetched stream and its per-block offsets.
+func (f *File) setCollRead(buf []byte) {
+	st := &collReadState{buf: buf, base: make([]int64, len(f.readBytes))}
+	var off int64
+	for b, n := range f.readBytes {
+		st.base[b] = off
+		off += n
+	}
+	f.collRead = st
+}
+
+// readChunkAt fills p from (block, pos) of this task's chunk data, either
+// from the physical file or from the collective-read prefetch buffer.
+func (f *File) readChunkAt(p []byte, block int, pos int64) error {
+	if f.collRead != nil {
+		off := f.collRead.base[block] + pos
+		copy(p, f.collRead.buf[off:])
+		return nil
+	}
+	if _, err := f.fh.ReadAt(p, f.geo.dataOff(geoIndex, block)+pos); err != nil && err != io.EOF {
 		return err
 	}
-	if self {
-		f.blockBytes = bb
-		f.curBlock = len(bb) - 1
-		f.pos = bb[f.curBlock]
-	}
 	return nil
-}
-
-// writeRegionFor writes one member's logical stream into its chunk series
-// (chunk 0 at chunk0, capacity `aligned` minus header, advancing by
-// stride per block) and returns the per-block byte counts.
-func (f *File) writeRegionFor(chunk0, aligned, stride int64, data []byte) ([]int64, error) {
-	capacity := aligned
-	if capacity <= 0 {
-		return nil, fmt.Errorf("sion: %s: collective member chunk capacity %d", f.name, capacity)
-	}
-	bb := []int64{0}
-	block := 0
-	pos := int64(0)
-	for len(data) > 0 || block == 0 {
-		w := int64(len(data))
-		if w > capacity-pos {
-			w = capacity - pos
-		}
-		if w > 0 {
-			off := chunk0 + int64(block)*stride + pos
-			if _, err := f.fh.WriteAt(data[:w], off); err != nil {
-				return nil, fmt.Errorf("sion: %s: collective write: %w", f.name, err)
-			}
-			pos += w
-			bb[block] = pos
-			data = data[w:]
-		}
-		if len(data) == 0 {
-			break
-		}
-		block++
-		pos = 0
-		bb = append(bb, 0)
-	}
-	return bb, nil
 }
 
 // encodeInt64s / decodeInt64s: little-endian int64 slice codec for the
@@ -152,12 +746,4 @@ func decodeInt64s(b []byte) []int64 {
 		out[i] = int64(le().Uint64(b[8*i:]))
 	}
 	return out
-}
-
-// initCollective arms collective mode on a freshly opened write handle.
-func (f *File) initCollective(group int) {
-	if group <= 1 || f.lcomm == nil {
-		return
-	}
-	f.coll = &collState{group: group}
 }

@@ -1,0 +1,526 @@
+package sion
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+func TestAsyncCollectiveRoundTrip(t *testing.T) {
+	for _, cfg := range []struct {
+		n, group, nfiles int
+		flush            int64
+	}{
+		{8, 4, 1, 0},   // auto flush quantum (= chunk capacity)
+		{8, 3, 1, 64},  // tiny quantum: many frames per member
+		{9, 4, 2, 128}, // two physical files
+		{6, 6, 1, 256}, // one group spanning the whole file
+		{5, 2, 1, 96},  // odd group split
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n=%d g=%d files=%d q=%d", cfg.n, cfg.group, cfg.nfiles, cfg.flush), func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			mpi.Run(cfg.n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "async.sion", WriteMode, &Options{
+					ChunkSize: 300, FSBlockSize: 256,
+					NFiles: cfg.nfiles, CollectorGroup: cfg.group,
+					AsyncCollective: true, AsyncFlushBytes: cfg.flush,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				payload := rankPayload(c.Rank(), 1000+31*c.Rank())
+				for off := 0; off < len(payload); off += 217 {
+					end := off + 217
+					if end > len(payload) {
+						end = len(payload)
+					}
+					if _, err := f.Write(payload[off:end]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := f.Flush(); err != nil {
+					t.Errorf("rank %d: Flush: %v", c.Rank(), err)
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+
+				r, err := ParOpen(c, fsys, "async.sion", ReadMode, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, len(payload))
+				if _, err := io.ReadFull(r, got); err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("rank %d: async collective round-trip mismatch", c.Rank())
+				}
+				r.Close()
+			})
+			if err := Verify(fsys, "async.sion"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// An async-collective multifile must be byte-identical to direct and
+// synchronous-collective ones.
+func TestAsyncCollectiveEquivalentToDirect(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 6
+	write := func(name string, group int, async bool) {
+		mpi.Run(n, func(c *mpi.Comm) {
+			f, err := ParOpen(c, fsys, name, WriteMode, &Options{
+				ChunkSize: 200, FSBlockSize: 128, CollectorGroup: group,
+				AsyncCollective: async, AsyncFlushBytes: 64,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.Write(rankPayload(c.Rank(), 500))
+			f.Close()
+		})
+	}
+	write("direct.sion", 0, false)
+	write("async.sion", 3, true)
+	mustEqualFiles(t, fsys, "direct.sion", "async.sion")
+}
+
+// mustEqualFiles asserts two multifile segments are byte-identical.
+func mustEqualFiles(t *testing.T, fsys fsio.FileSystem, a, b string) {
+	t.Helper()
+	fa, err := fsys.Open(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fa.Close()
+	fb, err := fsys.Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	sa, _ := fa.Size()
+	sb, _ := fb.Size()
+	if sa != sb {
+		t.Fatalf("%s and %s sizes differ: %d vs %d", a, b, sa, sb)
+	}
+	ba, bb := make([]byte, sa), make([]byte, sb)
+	fa.ReadAt(ba, 0)
+	fb.ReadAt(bb, 0)
+	if !bytes.Equal(ba, bb) {
+		t.Fatalf("%s and %s differ byte-wise", a, b)
+	}
+}
+
+func TestCollectiveReadRoundTrip(t *testing.T) {
+	for _, cfg := range []struct{ n, group, nfiles int }{
+		{8, 4, 1}, {8, 3, 2}, {6, 6, 1}, {5, 2, 1}, {7, CollectorAuto, 1},
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n=%d g=%d files=%d", cfg.n, cfg.group, cfg.nfiles), func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			mpi.Run(cfg.n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "cread.sion", WriteMode, &Options{
+					ChunkSize: 300, FSBlockSize: 256, NFiles: cfg.nfiles,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				payload := rankPayload(c.Rank(), 900+13*c.Rank())
+				f.Write(payload)
+				if err := f.Close(); err != nil {
+					t.Error(err)
+					return
+				}
+
+				r, err := ParOpen(c, fsys, "cread.sion", ReadMode,
+					&Options{CollectorGroup: cfg.group})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				group, lead := r.Collective()
+				if group <= 1 {
+					t.Errorf("rank %d: collective read not in effect (group %d)", c.Rank(), group)
+				}
+				_ = lead
+				// Sequential read.
+				got := make([]byte, len(payload))
+				if _, err := io.ReadFull(r, got); err != nil {
+					t.Errorf("rank %d: %v", c.Rank(), err)
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("rank %d: collective read mismatch", c.Rank())
+				}
+				// Random logical access from the prefetched stream.
+				probe := make([]byte, 100)
+				if _, err := r.ReadLogicalAt(probe, 321); err != nil && err != io.EOF {
+					t.Errorf("rank %d: ReadLogicalAt: %v", c.Rank(), err)
+				} else if !bytes.Equal(probe, payload[321:421]) {
+					t.Errorf("rank %d: ReadLogicalAt mismatch", c.Rank())
+				}
+				if !r.EOF() {
+					t.Errorf("rank %d: EOF not reached", c.Rank())
+				}
+				r.Close()
+			})
+		})
+	}
+}
+
+// Collective read must also serve multi-block streams (data spanning
+// several chunks) and Seek.
+func TestCollectiveReadMultiBlock(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 6
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "mb.sion", WriteMode, &Options{
+			ChunkSize: 100, FSBlockSize: 64,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		payload := rankPayload(c.Rank(), 700) // several 128-byte chunks
+		f.Write(payload)
+		f.Close()
+
+		r, err := ParOpen(c, fsys, "mb.sion", ReadMode, &Options{CollectorGroup: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.Seek(2, 10); err != nil {
+			t.Errorf("rank %d: Seek: %v", c.Rank(), err)
+		}
+		capacity := r.ChunkCapacity()
+		want := payload[2*int(capacity)+10:]
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(r, got); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: Seek+Read mismatch after collective prefetch", c.Rank())
+		}
+		r.Close()
+	})
+}
+
+// --- Deferred-error surfacing ----------------------------------------------
+
+// failFS wraps a FileSystem and makes every write fail once armed.
+type failFS struct {
+	fsio.FileSystem
+	mu    sync.Mutex
+	armed bool
+}
+
+var errInjected = errors.New("injected write failure")
+
+func (ff *failFS) fail() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.armed
+}
+
+func (ff *failFS) arm() {
+	ff.mu.Lock()
+	ff.armed = true
+	ff.mu.Unlock()
+}
+
+type failFile struct {
+	fsio.File
+	ff *failFS
+}
+
+func (f *failFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.ff.fail() {
+		return 0, errInjected
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *failFile) WriteZeroAt(n, off int64) error {
+	if f.ff.fail() {
+		return errInjected
+	}
+	return f.File.WriteZeroAt(n, off)
+}
+
+func (ff *failFS) Create(name string) (fsio.File, error) {
+	f, err := ff.FileSystem.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: f, ff: ff}, nil
+}
+
+func (ff *failFS) OpenRW(name string) (fsio.File, error) {
+	f, err := ff.FileSystem.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	return &failFile{File: f, ff: ff}, nil
+}
+
+// A collector write failure in async mode must surface at Close on every
+// group member, not just the collector.
+func TestAsyncCollectiveDeferredError(t *testing.T) {
+	ff := &failFS{FileSystem: fsio.NewOS(t.TempDir())}
+	const n = 4
+	var mu sync.Mutex
+	closeErrs := make(map[int]error)
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, ff, "fail.sion", WriteMode, &Options{
+			ChunkSize: 128, FSBlockSize: 64, CollectorGroup: 4,
+			AsyncCollective: true, AsyncFlushBytes: 32,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if c.Rank() == 0 {
+			ff.arm() // all subsequent collector writes fail
+		}
+		c.Barrier()
+		f.Write(rankPayload(c.Rank(), 256))
+		err = f.Close()
+		mu.Lock()
+		closeErrs[c.Rank()] = err
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if closeErrs[r] == nil {
+			t.Errorf("rank %d: Close returned nil, want deferred write error", r)
+		}
+	}
+}
+
+// Flush on an async collector must surface a deferred error without
+// waiting for Close.
+func TestAsyncCollectorFlushSurfacesError(t *testing.T) {
+	ff := &failFS{FileSystem: fsio.NewOS(t.TempDir())}
+	mpi.Run(1, func(c *mpi.Comm) {
+		f, err := ParOpen(c, ff, "flusherr.sion", WriteMode, &Options{
+			ChunkSize: 128, FSBlockSize: 64, CollectorGroup: 2,
+			AsyncCollective: true, AsyncFlushBytes: 32,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Group of 1 (size clamp): still collective, rank 0 is collector.
+		ff.arm()
+		f.Write(rankPayload(0, 256)) // emits failing frames
+		if err := f.Flush(); err == nil {
+			// The flusher may not have applied the frame yet in real
+			// mode; Close must surface it regardless.
+			if cerr := f.Close(); cerr == nil {
+				t.Error("neither Flush nor Close surfaced the deferred error")
+			}
+			return
+		}
+		f.Close()
+	})
+}
+
+func TestAutoCollectorGroup(t *testing.T) {
+	for _, tc := range []struct {
+		nlocal  int
+		aligned int64
+		fsblk   int64
+		want    int
+	}{
+		{16, 256, 256, 4},   // 4 blocks / 1-block chunks → 4 members
+		{16, 64, 256, 16},   // tiny chunks → whole file, capped by size
+		{2, 64, 256, 2},     // capped by the local task count
+		{16, 4096, 256, 1},  // chunk already spans 16 blocks → direct
+		{4096, 1, 256, 64},  // capped by maxAutoGroup
+	} {
+		if got := autoCollectorGroup(tc.nlocal, tc.aligned, tc.fsblk); got != tc.want {
+			t.Errorf("autoCollectorGroup(%d, %d, %d) = %d, want %d",
+				tc.nlocal, tc.aligned, tc.fsblk, got, tc.want)
+		}
+	}
+}
+
+// End-to-end CollectorAuto: the resolved group must be consistent and the
+// data intact.
+func TestCollectorAutoEndToEnd(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const n = 8
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "auto.sion", WriteMode, &Options{
+			ChunkSize: 64, FSBlockSize: 256, CollectorGroup: CollectorAuto,
+			AsyncCollective: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		group, _ := f.Collective()
+		// aligned = 256 = 1 block; target 4 blocks → groups of 4.
+		if group != 4 {
+			t.Errorf("rank %d: auto group = %d, want 4", c.Rank(), group)
+		}
+		payload := rankPayload(c.Rank(), 600)
+		f.Write(payload)
+		if err := f.Close(); err != nil {
+			t.Error(err)
+			return
+		}
+		r, err := ParOpen(c, fsys, "auto.sion", ReadMode, &Options{CollectorGroup: CollectorAuto})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(r, got); err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("rank %d: auto-group round-trip mismatch (%v)", c.Rank(), err)
+		}
+		r.Close()
+	})
+	if err := Verify(fsys, "auto.sion"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readFailFS fails large reads (data regions) once armed, while letting
+// the small metadata reads through — isolating a collector-side region
+// read failure during a collective-read open.
+type readFailFS struct {
+	fsio.FileSystem
+	mu    sync.Mutex
+	armed bool
+}
+
+func (ff *readFailFS) fail() bool {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	return ff.armed
+}
+
+type readFailFile struct {
+	fsio.File
+	ff *readFailFS
+}
+
+func (f *readFailFile) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > 1000 && f.ff.fail() {
+		return 0, errInjected
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (ff *readFailFS) Open(name string) (fsio.File, error) {
+	f, err := ff.FileSystem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &readFailFile{File: f, ff: ff}, nil
+}
+
+// A collector whose region reads fail must fail the collective-read open
+// on every group member — members must never be handed fabricated zeros.
+func TestCollectiveReadCollectorFailureSurfaces(t *testing.T) {
+	base := fsio.NewOS(t.TempDir())
+	const n = 4
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, base, "rfail.sion", WriteMode, &Options{
+			ChunkSize: 4096, FSBlockSize: 512,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(rankPayload(c.Rank(), 2000))
+		f.Close()
+	})
+	ff := &readFailFS{FileSystem: base}
+	ff.mu.Lock()
+	ff.armed = true
+	ff.mu.Unlock()
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	mpi.Run(n, func(c *mpi.Comm) {
+		_, err := ParOpen(c, ff, "rfail.sion", ReadMode, &Options{CollectorGroup: n})
+		mu.Lock()
+		errs[c.Rank()] = err
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if errs[r] == nil {
+			t.Errorf("rank %d: collective-read open succeeded despite collector read failure", r)
+		}
+	}
+}
+
+// openFailAfterFS lets the first `allowed` Opens through, then fails:
+// tuned so the metadata opens succeed and the collector's data open is
+// the first casualty.
+type openFailAfterFS struct {
+	fsio.FileSystem
+	mu      sync.Mutex
+	allowed int
+}
+
+func (ff *openFailAfterFS) Open(name string) (fsio.File, error) {
+	ff.mu.Lock()
+	ff.allowed--
+	ok := ff.allowed >= 0
+	ff.mu.Unlock()
+	if !ok {
+		return nil, errInjected
+	}
+	return ff.FileSystem.Open(name)
+}
+
+// A collector that cannot open the physical file must fail every group
+// member's ParOpen instead of leaving them blocked waiting for data.
+func TestCollectiveReadCollectorOpenFailureFailsMembers(t *testing.T) {
+	base := fsio.NewOS(t.TempDir())
+	const n = 4
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, base, "ofail.sion", WriteMode, &Options{
+			ChunkSize: 512, FSBlockSize: 256,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(rankPayload(c.Rank(), 300))
+		f.Close()
+	})
+	// Reads: (1) world rank 0 header, (2) master metadata, then (3) the
+	// collector's data open — which must be the one that fails.
+	ff := &openFailAfterFS{FileSystem: base, allowed: 2}
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	mpi.Run(n, func(c *mpi.Comm) {
+		_, err := ParOpen(c, ff, "ofail.sion", ReadMode, &Options{CollectorGroup: n})
+		mu.Lock()
+		errs[c.Rank()] = err
+		mu.Unlock()
+	})
+	for r := 0; r < n; r++ {
+		if errs[r] == nil {
+			t.Errorf("rank %d: ParOpen succeeded despite the collector's open failing", r)
+		}
+	}
+}

@@ -61,6 +61,16 @@ const (
 // ErrCorrupt is wrapped by parse errors on damaged multifiles.
 var ErrCorrupt = errors.New("sion: corrupt multifile")
 
+// Plausibility caps applied when parsing untrusted metadata, so corrupted
+// or adversarial headers produce ErrCorrupt instead of absurd allocations
+// or integer overflow in the chunk arithmetic.
+const (
+	maxTasks       = 1 << 21 // 2 Mi tasks (paper scale is 64 Ki)
+	maxPhysFiles   = 1 << 20
+	maxFSBlockSize = 1 << 30 // 1 GiB FS blocks
+	maxChunkSize   = 1 << 40 // 1 TiB per chunk
+)
+
 // FileLoc places one global task inside the multifile collection.
 type FileLoc struct {
 	File      int32 // physical file number
@@ -142,10 +152,11 @@ func parseHeader(f fsio.File) (*header, error) {
 		MaxChunks:    int32(le.Uint32(fixed[44:])),
 	}
 	switch {
-	case h.FSBlockSize <= 0,
-		h.NTasksGlobal <= 0,
+	case h.FSBlockSize <= 0 || h.FSBlockSize > maxFSBlockSize,
+		h.NTasksGlobal <= 0 || h.NTasksGlobal > maxTasks,
 		h.NTasksLocal <= 0 || h.NTasksLocal > h.NTasksGlobal,
-		h.NFiles <= 0 || h.FileNum < 0 || h.FileNum >= h.NFiles:
+		h.NFiles <= 0 || h.NFiles > maxPhysFiles,
+		h.FileNum < 0 || h.FileNum >= h.NFiles:
 		return nil, fmt.Errorf("%w: implausible header fields %+v", ErrCorrupt, *h)
 	}
 	rest := make([]byte, h.encodedSize()-headerFixedSize)
@@ -158,7 +169,7 @@ func parseHeader(f fsio.File) (*header, error) {
 	for i := range h.GlobalRanks {
 		h.GlobalRanks[i] = int64(le.Uint64(rest[off:]))
 		h.ChunkSizes[i] = int64(le.Uint64(rest[off+8:]))
-		if h.ChunkSizes[i] <= 0 {
+		if h.ChunkSizes[i] <= 0 || h.ChunkSizes[i] > maxChunkSize {
 			return nil, fmt.Errorf("%w: chunk size %d for local task %d", ErrCorrupt, h.ChunkSizes[i], i)
 		}
 		off += 16
@@ -170,7 +181,8 @@ func parseHeader(f fsio.File) (*header, error) {
 				File:      int32(le.Uint32(rest[off:])),
 				LocalRank: int32(le.Uint32(rest[off+4:])),
 			}
-			if h.Mapping[i].File < 0 || h.Mapping[i].File >= h.NFiles || h.Mapping[i].LocalRank < 0 {
+			if h.Mapping[i].File < 0 || h.Mapping[i].File >= h.NFiles ||
+				h.Mapping[i].LocalRank < 0 || h.Mapping[i].LocalRank >= h.NTasksGlobal {
 				return nil, fmt.Errorf("%w: mapping entry %d = %+v", ErrCorrupt, i, h.Mapping[i])
 			}
 			off += 8

@@ -1,0 +1,185 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+	"path"
+	"testing"
+
+	"repro/internal/fsio"
+)
+
+// memFile is a read-only in-memory fsio.File over raw multifile bytes,
+// used to feed fuzz inputs through the metadata parsers without disk I/O.
+type memFile struct{ b []byte }
+
+var _ fsio.File = (*memFile)(nil)
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("memfile: negative offset %d", off)
+	}
+	if off >= int64(len(m.b)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.b[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	return 0, fmt.Errorf("memfile: read-only")
+}
+func (m *memFile) WriteZeroAt(n, off int64) error { return fmt.Errorf("memfile: read-only") }
+func (m *memFile) ReadDiscardAt(n, off int64) (int64, error) {
+	got, short := n, false
+	if off >= int64(len(m.b)) {
+		return 0, nil
+	}
+	if off+n > int64(len(m.b)) {
+		got, short = int64(len(m.b))-off, true
+	}
+	_ = short
+	return got, nil
+}
+func (m *memFile) Size() (int64, error)  { return int64(len(m.b)), nil }
+func (m *memFile) Truncate(int64) error  { return fmt.Errorf("memfile: read-only") }
+func (m *memFile) Sync() error           { return nil }
+func (m *memFile) Close() error          { return nil }
+
+// memFS exposes a set of raw byte images as a read-only fsio.FileSystem.
+type memFS struct{ files map[string][]byte }
+
+var _ fsio.FileSystem = (*memFS)(nil)
+
+func (fs *memFS) Open(name string) (fsio.File, error) {
+	b, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return nil, fmt.Errorf("memfs: open %s: %w", name, fsio.ErrNotExist)
+	}
+	return &memFile{b: b}, nil
+}
+func (fs *memFS) OpenRW(name string) (fsio.File, error) { return fs.Open(name) }
+func (fs *memFS) Create(name string) (fsio.File, error) {
+	return nil, fmt.Errorf("memfs: read-only")
+}
+func (fs *memFS) Stat(name string) (fsio.FileInfo, error) {
+	b, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return fsio.FileInfo{}, fmt.Errorf("memfs: stat %s: %w", name, fsio.ErrNotExist)
+	}
+	return fsio.FileInfo{Name: name, Size: int64(len(b))}, nil
+}
+func (fs *memFS) Remove(name string) error { return fmt.Errorf("memfs: read-only") }
+func (fs *memFS) BlockSize(string) int64   { return 256 }
+
+// seedMultifile builds a small real multifile (serial path, 3 tasks, one
+// physical file) and returns its raw bytes as fuzz seed material.
+func seedMultifile(tb testing.TB, chunkHeaders bool) []byte {
+	tb.Helper()
+	dir := tb.TempDir()
+	fsys := fsio.NewOS(dir)
+	sf, err := Create(fsys, "seed.sion", []int64{100, 64, 200}, &Options{
+		FSBlockSize: 128, ChunkHeaders: chunkHeaders,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if err := sf.Seek(r, 0, 0); err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := sf.Write(rankPayload(r, 150+40*r)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := sf.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	fh, err := fsys.Open("seed.sion")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer fh.Close()
+	size, _ := fh.Size()
+	buf := make([]byte, size)
+	if _, err := fh.ReadAt(buf, 0); err != nil && err != io.EOF {
+		tb.Fatal(err)
+	}
+	return buf
+}
+
+// FuzzReadHeader feeds arbitrary bytes through the metablock-1 parser,
+// the derived chunk geometry, and the trailer/metablock-2 locator. Any
+// outcome but a clean error (or success on intact input) is a bug.
+func FuzzReadHeader(f *testing.F) {
+	seed := seedMultifile(f, false)
+	f.Add(seed)
+	f.Add(seed[:headerFixedSize])
+	f.Add(seed[:len(seed)-tailSize/2])
+	corrupt := append([]byte(nil), seed...)
+	corrupt[20] ^= 0xff // NTasksGlobal
+	f.Add(corrupt)
+	f.Add([]byte(magicHeader))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mf := &memFile{b: data}
+		h, err := parseHeader(mf)
+		if err != nil {
+			return
+		}
+		// An accepted header must be safe to derive geometry from and to
+		// locate metadata with.
+		g := newGeometry(h)
+		if len(g.aligned) != int(h.NTasksLocal) {
+			t.Fatalf("geometry tables sized %d for %d tasks", len(g.aligned), h.NTasksLocal)
+		}
+		if m2, err := readTail(mf, int(h.NTasksLocal)); err == nil {
+			for _, bb := range m2.BlockBytes {
+				_ = bb
+			}
+		}
+	})
+}
+
+// FuzzOpen feeds corrupted multifiles through the full serial open path
+// used by siondump and the other utilities: Open, Locations, Dump,
+// Verify, and OpenRank must all return errors instead of panicking.
+func FuzzOpen(f *testing.F) {
+	seed := seedMultifile(f, false)
+	f.Add(seed)
+	f.Add(seedMultifile(f, true)) // chunk-headered variant
+	f.Add(seed[:len(seed)/2])     // crash before close
+	truncTail := append([]byte(nil), seed...)
+	f.Add(truncTail[:len(truncTail)-1])
+	zeroed := append([]byte(nil), seed...)
+	for i := headerFixedSize; i < headerFixedSize+32 && i < len(zeroed); i++ {
+		zeroed[i] = 0
+	}
+	f.Add(zeroed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fsys := &memFS{files: map[string][]byte{"f.sion": data}}
+		if err := Dump(fsys, "f.sion", io.Discard); err != nil {
+			return // rejected cleanly
+		}
+		// The image parsed: the utilities must keep working on it.
+		if err := Verify(fsys, "f.sion"); err != nil {
+			return
+		}
+		r, err := OpenRank(fsys, "f.sion", 0)
+		if err != nil {
+			return
+		}
+		buf := make([]byte, 64)
+		for !r.EOF() {
+			if _, err := r.Read(buf); err != nil {
+				break
+			}
+		}
+		r.Close()
+	})
+}

@@ -170,8 +170,7 @@ func (f *File) ReadLogicalAt(p []byte, off int64) (int, error) {
 		if n > avail {
 			n = avail
 		}
-		fileOff := f.geo.dataOff(geoIndex, block) + off
-		if _, err := f.fh.ReadAt(p[:n], fileOff); err != nil && err != io.EOF {
+		if err := f.readChunkAt(p[:n], block, off); err != nil {
 			return total, fmt.Errorf("sion: %s: logical read: %w", f.name, err)
 		}
 		p = p[n:]

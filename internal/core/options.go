@@ -65,11 +65,88 @@ type Options struct {
 	// (paper §6 future work). Incompatible with CollectorGroup.
 	ChunkHeaders bool
 
-	// CollectorGroup enables collective write mode (SIONlib's
-	// sion_coll_fwrite): groups of this many consecutive local tasks
-	// buffer their data and ship it to the group's first member at close,
-	// so only the collectors issue file writes. 0 or 1 disables.
+	// CollectorGroup enables collective I/O (SIONlib's sion_coll_fwrite
+	// and its collective-read extension): groups of this many consecutive
+	// local tasks designate their first member as a collector, and only
+	// the collectors touch the physical file.
+	//
+	// In write mode, members buffer their data and ship it to the
+	// collector, which issues one large write per member chunk region; the
+	// resulting multifile is byte-identical to one written directly. In
+	// read mode, the collector issues one large read per member chunk
+	// region and scatters the data, so at most ⌈ntasks/group⌉ tasks of a
+	// physical file open it or issue read requests. Members never open the
+	// physical file at all.
+	//
+	// Memory: collective read prefetches each task's complete logical
+	// stream into host memory at open (and the collector transiently
+	// holds its whole group's streams). It is meant for the paper's
+	// restart/trace read-back pattern with moderate per-task volumes; for
+	// at-scale synthetic benchmarks (ReadSynthetic/WriteSynthetic, which
+	// exist to avoid materializing payload bytes) use direct mode.
+	//
+	// Values: 0 or 1 disable (direct I/O); > 1 is a fixed group size;
+	// CollectorAuto (-1) derives the group size from the chunk sizes and
+	// the file-system block size, targeting collector regions of at least
+	// autoCollectTargetBlocks FS blocks (the loosely-coupled aggregation
+	// sizing of Zhang et al., arXiv:0901.0134). All tasks must pass the
+	// same value (ParOpen is collective); the resolved size is computed at
+	// the file master and distributed, so -1 is consistent even when chunk
+	// sizes differ between tasks.
 	CollectorGroup int
+
+	// AsyncCollective upgrades collective write mode to double-buffered
+	// asynchronous flushing: instead of holding all data until Close, a
+	// member hands full staging buffers to its collector as it writes, and
+	// the collector flushes them in the background (a flusher goroutine
+	// per collector with a bounded queue in real mode; arrival-time-
+	// ordered opportunistic draining in simulated mode), overlapping
+	// computation with file I/O. Write errors detected by the flusher are
+	// deferred and surfaced by Flush (collector-local) and Close (all
+	// group members). Requires CollectorGroup != 0; ignored in read mode
+	// (collective reads always complete at open).
+	AsyncCollective bool
+
+	// AsyncFlushBytes is the staging-buffer (flush-unit) size for
+	// AsyncCollective. 0 picks one chunk capacity (which is always a
+	// whole number of FS blocks), capped at asyncFlushCap to bound the
+	// memory in flight per member.
+	AsyncFlushBytes int64
+}
+
+// CollectorAuto selects the collector group size automatically
+// (Options.CollectorGroup = -1).
+const CollectorAuto = -1
+
+// autoCollectTargetBlocks is the auto-tuning target: each collector region
+// (group size × aligned chunk) should cover at least this many FS blocks,
+// so a collector write is large enough to amortize the request path.
+const autoCollectTargetBlocks = 4
+
+// maxAutoGroup bounds the auto-tuned group size: a collector holds up to
+// group × chunk bytes in flight, so unbounded groups would trade request
+// count for memory without further bandwidth benefit.
+const maxAutoGroup = 64
+
+// autoCollectorGroup derives the collector group size from the average
+// aligned chunk size of a physical file: enough members that one
+// collector region spans autoCollectTargetBlocks FS blocks.
+func autoCollectorGroup(ntasksLocal int, avgAligned, fsblk int64) int {
+	if avgAligned <= 0 {
+		return 1
+	}
+	target := autoCollectTargetBlocks * fsblk
+	g := int((target + avgAligned - 1) / avgAligned)
+	if g < 1 {
+		g = 1
+	}
+	if g > maxAutoGroup {
+		g = maxAutoGroup
+	}
+	if g > ntasksLocal {
+		g = ntasksLocal
+	}
+	return g
 }
 
 func (o *Options) withDefaults(ntasks int) (Options, error) {
@@ -89,8 +166,17 @@ func (o *Options) withDefaults(ntasks int) (Options, error) {
 	if out.MaxChunks < 0 {
 		return out, fmt.Errorf("sion: negative MaxChunks %d", out.MaxChunks)
 	}
-	if out.CollectorGroup > 1 && out.ChunkHeaders {
+	if out.CollectorGroup < CollectorAuto {
+		return out, fmt.Errorf("sion: CollectorGroup %d (use 0/1 to disable, >1 fixed, CollectorAuto)", out.CollectorGroup)
+	}
+	if out.CollectorGroup != 0 && out.CollectorGroup != 1 && out.ChunkHeaders {
 		return out, fmt.Errorf("sion: CollectorGroup and ChunkHeaders are mutually exclusive (collectors cannot attribute chunk headers)")
+	}
+	if out.AsyncCollective && (out.CollectorGroup == 0 || out.CollectorGroup == 1) {
+		return out, fmt.Errorf("sion: AsyncCollective requires CollectorGroup (set it > 1 or CollectorAuto)")
+	}
+	if out.AsyncFlushBytes < 0 {
+		return out, fmt.Errorf("sion: negative AsyncFlushBytes %d", out.AsyncFlushBytes)
 	}
 	return out, nil
 }

@@ -48,8 +48,14 @@ type File struct {
 	// Read state.
 	readBytes []int64 // bytes available per block (from metablock 2)
 
-	// Collective write mode (see collective.go); nil = direct writes.
-	coll *collState
+	// Collective mode (see collective.go). coll is the write-side state
+	// (nil = direct writes); collRead serves reads from the prefetched
+	// stream a read-mode collector scattered (nil = direct reads).
+	// collGroup/collLead describe the resolved group for both directions.
+	coll      *collState
+	collRead  *collReadState
+	collGroup int
+	collLead  bool
 }
 
 var (
@@ -68,7 +74,7 @@ func ParOpen(comm *mpi.Comm, fsys fsio.FileSystem, name string, mode Mode, opts 
 	case WriteMode:
 		return parOpenWrite(comm, fsys, name, opts)
 	case ReadMode:
-		return parOpenRead(comm, fsys, name)
+		return parOpenRead(comm, fsys, name, opts)
 	default:
 		return nil, fmt.Errorf("sion: ParOpen %s: unsupported mode %v", name, mode)
 	}
@@ -175,6 +181,10 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 		if status == 0 {
 			f.fh = fh
 			f.geo = newGeometry(h)
+			// Resolve the collector group size here, where the full chunk
+			// table is known, so CollectorAuto is consistent across the
+			// group even with per-task chunk sizes.
+			group := int64(resolveCollectorGroup(o.CollectorGroup, lcomm.Size(), f.geo.stride, fsblk))
 			geos = make([][]int64, lcomm.Size())
 			for i := range geos {
 				geos[i] = []int64{
@@ -183,12 +193,13 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 					f.geo.stride,
 					f.geo.aligned[i],
 					f.geo.prefix[i],
+					group,
 				}
 			}
 		} else {
 			geos = make([][]int64, lcomm.Size())
 			for i := range geos {
-				geos[i] = []int64{status, 0, 0, 0, 0}
+				geos[i] = []int64{status, 0, 0, 0, 0, 0}
 			}
 		}
 	}
@@ -199,6 +210,7 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 		}
 		return nil, fmt.Errorf("sion: ParOpen %s for write failed (status %d; invalid chunk size or create error)", name, mine[0])
 	}
+	group := int(mine[5])
 	if f.local != 0 {
 		// Non-masters keep a single-entry geometry view (index 0); the
 		// master holds the full per-task table, in which its own chunk is
@@ -211,18 +223,36 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 			prefix:  []int64{mine[4]},
 			headers: o.ChunkHeaders,
 		}
-		fh, err := fsys.OpenRW(physName)
-		if err != nil {
-			return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
+		// In collective mode only the collectors (group leads) touch the
+		// physical file; other members route everything through frames.
+		if group <= 1 || f.local%group == 0 {
+			fh, err := fsys.OpenRW(physName)
+			if err != nil {
+				return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
+			}
+			f.fh = fh
 		}
-		f.fh = fh
 	}
 	f.blockBytes = []int64{0}
 	if err := f.enterBlock(0); err != nil {
 		return nil, err
 	}
-	f.initCollective(o.CollectorGroup)
+	f.initCollective(group, o.AsyncCollective, o.AsyncFlushBytes)
 	return f, nil
+}
+
+// resolveCollectorGroup turns the CollectorGroup option into the effective
+// group size for a physical file with ntasksLocal tasks and the given
+// block stride (= sum of aligned chunk sizes).
+func resolveCollectorGroup(opt, ntasksLocal int, stride, fsblk int64) int {
+	switch {
+	case opt == CollectorAuto:
+		return autoCollectorGroup(ntasksLocal, stride/int64(ntasksLocal), fsblk)
+	case opt > 1:
+		return opt
+	default:
+		return 1
+	}
 }
 
 // geoIndex is the index of this task's chunk in its geometry tables.
@@ -251,7 +281,11 @@ func decodeMapping(buf []byte) []FileLoc {
 	return m
 }
 
-func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string) (*File, error) {
+func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Options) (*File, error) {
+	o, err := opts.withDefaults(comm.Size())
+	if err != nil {
+		return nil, err
+	}
 	// World rank 0 reads file 0's header to learn the task placement.
 	var placements [][]int64
 	status := int64(0)
@@ -329,11 +363,12 @@ func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string) (*File, erro
 		}
 		for i := range infos {
 			if lstatus != 0 {
-				infos[i] = []int64{lstatus, 0, 0, 0, 0, 0}
+				infos[i] = []int64{lstatus, 0, 0, 0, 0, 0, 0}
 				continue
 			}
 			g := newGeometry(h)
-			rec := []int64{0, g.start, g.stride, g.aligned[i], g.prefix[i], h.ChunkSizes[i]}
+			group := int64(resolveCollectorGroup(o.CollectorGroup, lcomm.Size(), g.stride, fsblk))
+			rec := []int64{0, g.start, g.stride, g.aligned[i], g.prefix[i], h.ChunkSizes[i], group}
 			rec = append(rec, m2.BlockBytes[i]...)
 			infos[i] = rec
 		}
@@ -351,7 +386,22 @@ func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string) (*File, erro
 		headers: f.chunkHdrs,
 	}
 	f.requested = mine[5]
-	f.readBytes = append([]int64(nil), mine[6:]...)
+	group := int(mine[6])
+	f.readBytes = append([]int64(nil), mine[7:]...)
+	if group > 1 {
+		// Collective read: only the group collectors open the physical
+		// file; they read each member's chunk regions in one pass and
+		// scatter the logical streams (see collective.go, which also
+		// handles a failed collector open by failing the members' opens
+		// rather than leaving them blocked).
+		if err := f.initCollectiveRead(group, physName); err != nil {
+			if f.fh != nil {
+				f.fh.Close()
+			}
+			return nil, err
+		}
+		return f, nil
+	}
 	fh, err := fsys.Open(physName)
 	if err != nil {
 		return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
@@ -562,7 +612,7 @@ func (f *File) Read(p []byte) (int, error) {
 		if r > avail {
 			r = avail
 		}
-		if _, err := f.fh.ReadAt(p[:r], f.dataOff()+f.pos); err != nil && err != io.EOF {
+		if err := f.readChunkAt(p[:r], f.curBlock, f.pos); err != nil {
 			return total, fmt.Errorf("sion: %s: chunk read: %w", f.name, err)
 		}
 		f.pos += r
@@ -596,8 +646,12 @@ func (f *File) ReadSynthetic(n int64) (int64, error) {
 		if r > avail {
 			r = avail
 		}
-		if _, err := f.fh.ReadDiscardAt(r, f.dataOff()+f.pos); err != nil {
-			return total, err
+		// In collective read mode the data was already fetched (and
+		// metered) by the collector; consuming it is a memory operation.
+		if f.collRead == nil {
+			if _, err := f.fh.ReadDiscardAt(r, f.dataOff()+f.pos); err != nil {
+				return total, err
+			}
 		}
 		f.pos += r
 		total += r
@@ -635,6 +689,24 @@ func (f *File) Seek(block int, pos int64) error {
 	}
 	f.curBlock, f.pos = block, pos
 	return nil
+}
+
+// --- Flush ------------------------------------------------------------------
+
+// Flush forces written data toward the file system and surfaces deferred
+// errors. Direct-mode handles sync the physical file. Asynchronous
+// collective handles ship the member's partial staging buffer to its
+// collector and, on a collector, report any background write error seen
+// so far (the definitive status arrives at Close). Synchronous collective
+// handles are a no-op: their data moves at Close by design.
+func (f *File) Flush() error {
+	if err := f.checkOpen(WriteMode); err != nil {
+		return err
+	}
+	if f.collectiveEnabled() {
+		return f.collFlush()
+	}
+	return f.fh.Sync()
 }
 
 // --- Close ------------------------------------------------------------------
@@ -683,12 +755,27 @@ func (f *File) Close() error {
 			}
 		}
 	}
-	// Collective completion (both modes).
+	// Collective completion (both modes), plus a global barrier in write
+	// mode matching sion_parclose_mpi's semantics: no task returns from a
+	// write-mode Close until every physical file's data and metadata are
+	// complete, so a subsequent read ParOpen (which starts at file 0's
+	// header, wherever the caller's own data lives) can never observe a
+	// half-written multifile. Read-mode Close stays file-local: it writes
+	// nothing, and a global barrier there would hang groups whose peers
+	// failed their open and hold no handle to close.
 	f.lcomm.Barrier()
+	if f.mode == WriteMode && f.comm != nil {
+		f.comm.Barrier()
+	}
 	return closeKeep(f.fh, firstErr)
 }
 
+// closeKeep closes fh (nil for collective group members, which never open
+// the physical file) keeping the first error.
 func closeKeep(fh fsio.File, firstErr error) error {
+	if fh == nil {
+		return firstErr
+	}
 	if err := fh.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}

@@ -1,0 +1,151 @@
+package sion
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// TestPropertyRoundTripModes is a property-style test over random
+// configurations: for random task counts, physical-file counts, chunk
+// sizes, and mappings, the direct, synchronous-collective, and
+// async-collective write paths must produce byte-identical multifiles,
+// and both direct and collective reads must return exactly the written
+// payloads (sequentially and via ReadLogicalAt).
+func TestPropertyRoundTripModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	maps := []struct {
+		name string
+		fn   MapFunc
+	}{
+		{"contig", ContiguousMap},
+		{"rr", RoundRobinMap},
+	}
+	for iter := 0; iter < 12; iter++ {
+		n := 2 + rng.Intn(9)             // 2..10 tasks
+		nfiles := 1 + rng.Intn(3)        // 1..3 physical files
+		if nfiles > n {
+			nfiles = n
+		}
+		chunk := int64(48 + rng.Intn(500))
+		fsblk := int64(64 << rng.Intn(3)) // 64, 128, 256
+		group := 2 + rng.Intn(n)          // may exceed a file's task count
+		if rng.Intn(4) == 0 {
+			group = CollectorAuto
+		}
+		flush := int64(0)
+		if rng.Intn(2) == 0 {
+			flush = int64(32 + rng.Intn(256))
+		}
+		m := maps[rng.Intn(len(maps))]
+
+		// Per-rank payload sizes: empty, sub-chunk, multi-chunk, and
+		// exact multiples of the capacity all occur.
+		capacity := alignUp(chunk, fsblk)
+		sizes := make([]int, n)
+		for r := range sizes {
+			switch rng.Intn(5) {
+			case 0:
+				sizes[r] = 0
+			case 1:
+				sizes[r] = int(capacity) * (1 + rng.Intn(3)) // exact multiple
+			default:
+				sizes[r] = rng.Intn(3 * int(capacity))
+			}
+		}
+
+		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d fsblk=%d g=%d q=%d map=%s",
+			iter, n, nfiles, chunk, fsblk, group, flush, m.name)
+		t.Run(name, func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			write := func(file string, g int, async bool) {
+				mpi.Run(n, func(c *mpi.Comm) {
+					f, err := ParOpen(c, fsys, file, WriteMode, &Options{
+						ChunkSize: chunk, FSBlockSize: fsblk, NFiles: nfiles,
+						Mapping: m.fn, CollectorGroup: g,
+						AsyncCollective: async, AsyncFlushBytes: flush,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					payload := rankPayload(c.Rank(), sizes[c.Rank()])
+					// Write in randomly sized pieces (deterministic per rank).
+					prng := rand.New(rand.NewSource(int64(1000*iter + c.Rank())))
+					for off := 0; off < len(payload); {
+						end := off + 1 + prng.Intn(2*int(chunk))
+						if end > len(payload) {
+							end = len(payload)
+						}
+						if _, err := f.Write(payload[off:end]); err != nil {
+							t.Error(err)
+							return
+						}
+						off = end
+					}
+					if err := f.Close(); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			write("direct.sion", 0, false)
+			write("coll.sion", group, false)
+			write("async.sion", group, true)
+			for k := 0; k < nfiles; k++ {
+				a := fileName("direct.sion", k)
+				mustEqualFiles(t, fsys, a, fileName("coll.sion", k))
+				mustEqualFiles(t, fsys, a, fileName("async.sion", k))
+			}
+			if err := Verify(fsys, "async.sion"); err != nil {
+				t.Fatal(err)
+			}
+
+			// Read everything back, direct and collective.
+			for _, rg := range []int{0, group} {
+				rg := rg
+				mpi.Run(n, func(c *mpi.Comm) {
+					var ropts *Options
+					if rg != 0 {
+						ropts = &Options{CollectorGroup: rg}
+					}
+					r, err := ParOpen(c, fsys, "async.sion", ReadMode, ropts)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer r.Close()
+					payload := rankPayload(c.Rank(), sizes[c.Rank()])
+					if got := r.LogicalSize(); got != int64(len(payload)) {
+						t.Errorf("rank %d: LogicalSize %d, want %d", c.Rank(), got, len(payload))
+					}
+					got := make([]byte, len(payload))
+					if len(got) > 0 {
+						if _, err := io.ReadFull(r, got); err != nil {
+							t.Errorf("rank %d: sequential read: %v", c.Rank(), err)
+						}
+					}
+					if !bytes.Equal(got, payload) {
+						t.Errorf("rank %d: payload mismatch (group %d)", c.Rank(), rg)
+					}
+					// Random-access probes.
+					prng := rand.New(rand.NewSource(int64(7000*iter + c.Rank())))
+					for p := 0; p < 4 && len(payload) > 0; p++ {
+						off := prng.Intn(len(payload))
+						ln := 1 + prng.Intn(len(payload)-off)
+						probe := make([]byte, ln)
+						if _, err := r.ReadLogicalAt(probe, int64(off)); err != nil && err != io.EOF {
+							t.Errorf("rank %d: ReadLogicalAt(%d,%d): %v", c.Rank(), off, ln, err)
+						} else if !bytes.Equal(probe, payload[off:off+ln]) {
+							t.Errorf("rank %d: ReadLogicalAt(%d,%d) mismatch", c.Rank(), off, ln)
+						}
+					}
+				})
+			}
+		})
+	}
+}

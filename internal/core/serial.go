@@ -167,6 +167,16 @@ func Open(fsys fsio.FileSystem, name string) (*SerialFile, error) {
 		}
 		sf.files[k] = &physFile{fh: fh, h: h, geo: newGeometry(h), m2: m2}
 	}
+	// The mapping was bounds-checked against file 0's header alone; verify
+	// every entry against the segment it actually points into, so a
+	// corrupt multifile cannot index outside a segment's task tables.
+	for r, loc := range sf.mapping {
+		if int(loc.LocalRank) >= int(sf.files[loc.File].h.NTasksLocal) {
+			sf.abort()
+			return nil, fmt.Errorf("sion: Open %s: %w: task %d maps to local rank %d of segment %d (%d tasks)",
+				name, ErrCorrupt, r, loc.LocalRank, loc.File, sf.files[loc.File].h.NTasksLocal)
+		}
+	}
 	return sf, nil
 }
 
@@ -199,6 +209,11 @@ func OpenRank(fsys fsio.FileSystem, name string, rank int) (*File, error) {
 			fh.Close()
 			return nil, fmt.Errorf("sion: OpenRank %s: segment %d: %w", name, loc.File, err)
 		}
+	}
+	if int(loc.LocalRank) >= int(h.NTasksLocal) {
+		fh.Close()
+		return nil, fmt.Errorf("sion: OpenRank %s: %w: rank %d maps to local rank %d of segment %d (%d tasks)",
+			name, ErrCorrupt, rank, loc.LocalRank, loc.File, h.NTasksLocal)
 	}
 	m2, err := readTail(fh, int(h.NTasksLocal))
 	if err != nil {

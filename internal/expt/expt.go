@@ -138,6 +138,7 @@ func All(scale int) []*Result {
 		Fig5a(scale), Fig5b(scale),
 		Fig6(scale),
 		Table2(scale),
+		Table3(scale),
 	}
 }
 
@@ -162,11 +163,13 @@ func ByName(name string) func(scale int) *Result {
 		return Fig6
 	case "tab2", "table2":
 		return Table2
+	case "tab3", "table3":
+		return Table3
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3"}
 }

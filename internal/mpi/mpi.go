@@ -305,3 +305,44 @@ func (c *Comm) Recv(from, tag int) []byte {
 	m := <-box.waitCh
 	return m.data
 }
+
+// TryRecv performs a non-blocking receive: if a message from rank `from`
+// with the given tag is available, it returns (payload, true), otherwise
+// (nil, false) immediately. In simulated mode a queued message counts as
+// available only once its arrival time has passed the caller's virtual
+// clock (a real MPI_Iprobe cannot see in-flight data either), and the
+// receive-side latency is charged only on success; an empty probe is free.
+//
+// Sends are eager and buffered (Send never blocks), so Send+TryRecv
+// together provide the overlap of MPI_Isend/MPI_Irecv: the async
+// collective flusher of internal/core polls member data with TryRecv
+// while computation proceeds.
+func (c *Comm) TryRecv(from, tag int) ([]byte, bool) {
+	if from < 0 || from >= len(c.group) {
+		panic(fmt.Sprintf("mpi: TryRecv from invalid rank %d (size %d)", from, len(c.group)))
+	}
+	box := c.w.boxes[c.group[c.rank]]
+	key := msgKey{c.cid, c.group[from], tag}
+
+	var now float64
+	if c.w.sim {
+		now = c.Proc().Now()
+	}
+	box.mu.Lock()
+	q := box.queue[key]
+	if len(q) == 0 || (c.w.sim && q[0].arrival > now) {
+		box.mu.Unlock()
+		return nil, false
+	}
+	m := q[0]
+	if len(q) == 1 {
+		delete(box.queue, key)
+	} else {
+		box.queue[key] = q[1:]
+	}
+	box.mu.Unlock()
+	if c.w.sim {
+		c.Proc().Advance(c.w.cost.Latency) // receive-side overhead
+	}
+	return m.data, true
+}

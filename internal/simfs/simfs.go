@@ -87,6 +87,43 @@ type file struct {
 	writerCli   map[int]bool   // client ids that wrote
 	soleWriter  int            // task id, -1 = none yet, -2 = multiple
 	removed     bool
+
+	// Request accounting (see FileStats): how many open/read/write
+	// requests the file ever received and from which tasks. The
+	// collective-I/O experiments use these to prove the client-reduction
+	// claim (only ⌈ntasks/group⌉ collectors touch a file).
+	opens     int
+	readReqs  int64
+	writeReqs int64
+	readerSet map[int]bool
+	writerSet map[int]bool
+}
+
+// FileStats counts a file's lifetime request traffic per kind.
+type FileStats struct {
+	Opens         int   // Create + Open + OpenRW calls
+	ReadRequests  int64 // ReadAt + ReadDiscardAt calls
+	WriteRequests int64 // WriteAt + WriteZeroAt calls
+	ReaderTasks   int   // distinct tasks that issued read requests
+	WriterTasks   int   // distinct tasks that issued write requests
+}
+
+// Stats reports the request counters of the named file (false if it does
+// not exist). Counters are cumulative over the file's lifetime; a
+// truncating re-Create keeps them (the entry is the same), Remove drops
+// them with the file.
+func (fs *FS) Stats(name string) (FileStats, bool) {
+	f, ok := fs.files[path.Clean(name)]
+	if !ok {
+		return FileStats{}, false
+	}
+	return FileStats{
+		Opens:         f.opens,
+		ReadRequests:  f.readReqs,
+		WriteRequests: f.writeReqs,
+		ReaderTasks:   len(f.readerSet),
+		WriterTasks:   len(f.writerSet),
+	}, true
 }
 
 // New creates a file system with the given profile.
@@ -206,6 +243,21 @@ type View struct {
 
 var _ fsio.FileSystem = (*View)(nil)
 
+// SpawnWorker starts a background worker process at the view's current
+// virtual time, bound to the same task (and therefore the same client
+// link) but carrying its own virtual clock, and returns that process.
+// The async collective flusher of internal/core runs on such a worker:
+// it is the discrete-event analog of the real-mode flusher goroutine, so
+// collector file I/O genuinely overlaps the collector's computation in
+// simulated time while every byte is still metered through the task's
+// client link and the shared servers.
+func (v *View) SpawnWorker(body func(fs fsio.FileSystem, p *vtime.Proc)) *vtime.Proc {
+	fs, task := v.fs, v.task
+	return v.proc.Engine().Spawn(v.proc.Now(), func(p *vtime.Proc) {
+		body(fs.View(task, p), p)
+	})
+}
+
 // Create implements fsio.FileSystem: it creates or truncates name, paying
 // the serialized directory-creation cost.
 func (v *View) Create(name string) (fsio.File, error) {
@@ -237,6 +289,8 @@ func (v *View) Create(name string) (fsio.File, error) {
 			stripeSize:  cfg.size,
 			token:       vtime.NewServer(fs.prof.Name + "/tok:" + name),
 			soleWriter:  -1,
+			readerSet:   make(map[int]bool),
+			writerSet:   make(map[int]bool),
 		}
 		fs.files[name] = f
 	} else {
@@ -256,6 +310,7 @@ func (v *View) Create(name string) (fsio.File, error) {
 	f.blockOwner = make(map[int64]int)
 	f.writerCli = make(map[int]bool)
 	f.removed = false
+	f.opens++
 	return &handle{v: v, f: f}, nil
 }
 
@@ -280,6 +335,7 @@ func (v *View) open(name string) (fsio.File, error) {
 	// load is in flight, and concurrent opens of the same file just queue
 	// behind it instead of each paying the load again.
 	f.inodeLoaded = true
+	f.opens++
 	if v.proc != nil {
 		fs.dirOf(name).srv.Use(v.proc, cost)
 	}
@@ -443,6 +499,11 @@ func (h *handle) writeCommon(n, off int64) error {
 		return nil
 	}
 	fs, f := h.v.fs, h.f
+	f.writeReqs++
+	if f.writerSet == nil {
+		f.writerSet = make(map[int]bool)
+	}
+	f.writerSet[h.v.task] = true
 	grow := f.addExtentProbe(off, off+n)
 	if fs.quota > 0 && fs.used+grow > fs.quota {
 		return fmt.Errorf("simfs: %s: %w", f.name, fsio.ErrQuota)
@@ -475,6 +536,7 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	if err := h.check(); err != nil {
 		return 0, err
 	}
+	h.noteRead()
 	n, short := h.clampRead(int64(len(p)), off)
 	h.meter(n, off, false)
 	h.loadPages(p[:n], off)
@@ -489,9 +551,19 @@ func (h *handle) ReadDiscardAt(n, off int64) (int64, error) {
 	if err := h.check(); err != nil {
 		return 0, err
 	}
+	h.noteRead()
 	got, _ := h.clampRead(n, off)
 	h.meter(got, off, false)
 	return got, nil
+}
+
+// noteRead counts a read request against the file and its issuing task.
+func (h *handle) noteRead() {
+	h.f.readReqs++
+	if h.f.readerSet == nil {
+		h.f.readerSet = make(map[int]bool)
+	}
+	h.f.readerSet[h.v.task] = true
 }
 
 func (h *handle) clampRead(n, off int64) (int64, bool) {

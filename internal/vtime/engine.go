@@ -120,6 +120,10 @@ func (e *Engine) describeBlockedLocked() string {
 // Now returns the process's current virtual time in seconds.
 func (p *Proc) Now() float64 { return p.now }
 
+// Engine returns the engine running this process, so running processes
+// can spawn peers (e.g. background I/O workers) mid-simulation.
+func (p *Proc) Engine() *Engine { return p.e }
+
 // ID returns the process id (spawn order, starting at 0).
 func (p *Proc) ID() int { return p.id }
 
