@@ -124,3 +124,13 @@ func BenchmarkTable3CollectiveIO(b *testing.B) {
 		return lastFloat(r.Rows[0], 5) / lastFloat(r.Rows[2], 5), "write-speedup"
 	})
 }
+
+// BenchmarkTable4BufferedIO regenerates the buffered-staging request-
+// reduction table; the metric is the direct/buffered-auto write-time
+// ratio (how much direct-path write-behind buys on the small-record
+// workload).
+func BenchmarkTable4BufferedIO(b *testing.B) {
+	benchExperiment(b, "tab4", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[0], 3) / lastFloat(r.Rows[2], 3), "write-speedup"
+	})
+}

@@ -1,0 +1,513 @@
+package sion
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Buffered staging I/O for the direct path (write-behind and read-ahead),
+// the client-side analog of the paper's central lever: the multifile
+// layout already guarantees that chunks are FS-block-aligned (§3.1,
+// Table 1), but a small-record workload in direct mode still turns every
+// application Write/Read into one file-system request. The staging layer
+// coalesces those records in user space — exactly the aggregation that
+// client-side buffering studies (Zhang et al., arXiv:0901.0134; TASIO,
+// arXiv:2011.13823) show recovers bandwidth independent of collective
+// mode — and flushes few, large, block-aligned extents instead:
+//
+//   - Write-behind: Write appends to a staging buffer; the buffer is
+//     flushed in FS-block-aligned extents when it fills, and completely at
+//     chunk boundaries, Flush, and Close. A flush triggered by a full
+//     buffer retains the partial tail block so that the next flush starts
+//     on an FS block boundary again.
+//   - Read-ahead: a read miss fetches up to one whole chunk region (the
+//     remaining used bytes of the current chunk, capped at the buffer
+//     size) in a single request; subsequent Read/ReadLogicalAt calls are
+//     served from memory. Seek never invalidates the cache — read-mode
+//     data is immutable, so the cache stays valid wherever the cursor
+//     moves.
+//
+// The cursor state (File.pos, SerialFile.curPos, blockBytes bookkeeping)
+// always reflects the logical position including staged bytes, so
+// EnsureFreeSpace, BytesAvailInChunk, EOF, and Seek keep their exact
+// unbuffered semantics, and a multifile written through the staging layer
+// is byte-identical to one written unbuffered.
+//
+// Staging buffers are recycled through a sync.Pool shared with the
+// collective frame path (collective.go), so a job alternating between
+// buffered-direct and collective handles reuses the same backing arrays.
+
+// stagePool recycles staging buffers across direct-path stages and
+// collective frames. Entries are *[]byte with length 0 and whatever
+// capacity their previous user grew them to.
+var stagePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getStageBuf returns a zero-length buffer with capacity ≥ n.
+func getStageBuf(n int64) []byte {
+	b := *stagePool.Get().(*[]byte)
+	if int64(cap(b)) < n {
+		b = make([]byte, 0, n)
+	}
+	return b[:0]
+}
+
+// putStageBuf returns a buffer to the pool for reuse.
+func putStageBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	stagePool.Put(&b)
+}
+
+// BufferAuto selects the staging-buffer size automatically
+// (Options.BufferSize = -1): one chunk capacity, rounded up to a multiple
+// of the FS block size and capped at bufferAutoCap.
+const BufferAuto = -1
+
+// bufferAutoCap bounds the auto-sized staging buffer, mirroring
+// asyncFlushCap on the collective path: beyond a few MiB per task the
+// request-count reduction has long saturated and the buffer only costs
+// memory.
+const bufferAutoCap = 4 << 20
+
+// resolveBufferSize turns Options.BufferSize into an effective staging
+// size for a chunk of the given capacity (0 = unbuffered).
+func resolveBufferSize(opt, capacity, fsblk int64) int64 {
+	switch {
+	case opt == 0:
+		return 0
+	case opt == BufferAuto:
+		b := capacity
+		if b > bufferAutoCap {
+			b = bufferAutoCap
+		}
+		b = alignUp(b, fsblk)
+		if b < fsblk {
+			b = fsblk
+		}
+		return b
+	default:
+		return opt
+	}
+}
+
+// writeStage is the write-behind state of one direct-mode handle: buf
+// holds the staged bytes of the current chunk range [pos-len(buf), pos),
+// where pos is the handle's logical cursor.
+type writeStage struct {
+	size int64
+	buf  []byte
+}
+
+// readStage caches one contiguous region of one chunk's used bytes:
+// chunk-relative range [start, start+len(data)) of block `block`.
+type readStage struct {
+	size  int64
+	block int
+	start int64
+	data  []byte
+}
+
+// covers reports whether the cached region contains [pos, pos+n) of block b.
+func (rs *readStage) covers(b int, pos, n int64) bool {
+	return b == rs.block && pos >= rs.start && pos+n <= rs.start+int64(len(rs.data))
+}
+
+// --- File (direct mode) ------------------------------------------------------
+
+// buffered reports whether the direct write path of f stages data.
+// Collective handles route data through frames (which already coalesce at
+// the collector), so the stage is inert there.
+func (f *File) buffered() bool { return f.wstage != nil && f.coll == nil }
+
+// initStaging arms the staging layer on a freshly opened handle.
+func (f *File) initStaging(bufSize int64) {
+	n := resolveBufferSize(bufSize, f.geo.capacity(geoIndex), f.fsblk)
+	if n <= 0 {
+		return
+	}
+	if f.mode == WriteMode {
+		if f.coll != nil {
+			return // collective write: members never touch the file
+		}
+		f.wstage = &writeStage{size: n, buf: getStageBuf(n)}
+		return
+	}
+	if f.collRead != nil {
+		return // collective read: the stream is already in memory
+	}
+	f.rstage = &readStage{size: n, block: -1}
+}
+
+// SetBufferSize reconfigures the staging layer of an open handle
+// (Options.BufferSize for handles opened without options, e.g. OpenRank):
+// n > 0 is an explicit size, BufferAuto derives one from the chunk
+// geometry, 0 disables staging — an explicit 0 also opts the handle out
+// of NewKeyReader's automatic read-ahead. On a write handle any staged
+// bytes are flushed first. Collective handles ignore the call (their
+// data path does not issue per-record requests to begin with).
+func (f *File) SetBufferSize(n int64) error {
+	if n < BufferAuto {
+		return fmt.Errorf("sion: %s: BufferSize %d (use 0, a positive size, or BufferAuto)", f.name, n)
+	}
+	if f.closed {
+		return fmt.Errorf("sion: %s: handle is closed", f.name)
+	}
+	if err := f.stageFlush(); err != nil {
+		return err
+	}
+	f.dropStaging()
+	f.stagingOff = n == 0
+	f.initStaging(n)
+	return nil
+}
+
+// dropStaging releases the stage buffers back to the shared pool.
+func (f *File) dropStaging() {
+	if f.wstage != nil {
+		putStageBuf(f.wstage.buf)
+		f.wstage = nil
+	}
+	if f.rstage != nil {
+		putStageBuf(f.rstage.data)
+		f.rstage = nil
+	}
+}
+
+// stagedWrite is the write-behind Write path: append to the staging
+// buffer, flushing a block-aligned prefix when the buffer fills and the
+// whole buffer at chunk boundaries.
+func (f *File) stagedWrite(p []byte) (int, error) {
+	ws := f.wstage
+	total := 0
+	for len(p) > 0 {
+		capacity := f.ChunkCapacity()
+		if capacity-f.pos == 0 {
+			// advanceBlock flushes the stage before moving the cursor.
+			if err := f.advanceBlock(); err != nil {
+				return total, err
+			}
+		}
+		w := int64(len(p))
+		if avail := capacity - f.pos; w > avail {
+			w = avail
+		}
+		// Large-write bypass: with nothing staged, a write of at least one
+		// buffer is already a big request — issue it directly instead of
+		// paying a copy through the stage.
+		if len(ws.buf) == 0 && w >= ws.size {
+			if _, err := f.fh.WriteAt(p[:w], f.dataOff()+f.pos); err != nil {
+				return total, fmt.Errorf("sion: %s: chunk write: %w", f.name, err)
+			}
+		} else {
+			if room := ws.size - int64(len(ws.buf)); w > room {
+				w = room
+			}
+			ws.buf = append(ws.buf, p[:w]...)
+		}
+		f.pos += w
+		f.blockBytes[f.curBlock] = f.pos
+		total += int(w)
+		p = p[w:]
+		if f.pos == capacity {
+			// The chunk is complete; staged bytes must not cross into the
+			// next block's distant file offset.
+			if err := f.stageFlush(); err != nil {
+				return total, err
+			}
+		} else if int64(len(ws.buf)) >= ws.size {
+			if err := f.stageFlushAligned(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// stageFlush writes every staged byte (chunk boundary, Flush, Close, or a
+// bypass such as WriteSynthetic).
+func (f *File) stageFlush() error {
+	if f.wstage == nil || len(f.wstage.buf) == 0 {
+		return nil
+	}
+	ws := f.wstage
+	start := f.pos - int64(len(ws.buf))
+	if _, err := f.fh.WriteAt(ws.buf, f.dataOff()+start); err != nil {
+		return fmt.Errorf("sion: %s: staged write: %w", f.name, err)
+	}
+	ws.buf = ws.buf[:0]
+	return nil
+}
+
+// stageFlushAligned writes the staged prefix up to the last FS block
+// boundary, keeping the partial tail block staged so the next flush
+// begins block-aligned. When the whole buffer fits inside one block (or
+// the region is misaligned by construction, e.g. chunk headers), it
+// degrades to a full flush.
+func (f *File) stageFlushAligned() error {
+	ws := f.wstage
+	start := f.pos - int64(len(ws.buf))
+	abs := f.dataOff() + start
+	end := abs + int64(len(ws.buf))
+	n := end - end%f.fsblk - abs
+	if n <= 0 || n == int64(len(ws.buf)) {
+		return f.stageFlush()
+	}
+	if _, err := f.fh.WriteAt(ws.buf[:n], abs); err != nil {
+		return fmt.Errorf("sion: %s: staged write: %w", f.name, err)
+	}
+	kept := copy(ws.buf, ws.buf[n:])
+	ws.buf = ws.buf[:kept]
+	return nil
+}
+
+// stagedReadAt serves [pos, pos+len(p)) of block b's data area from the
+// read-ahead cache, fetching up to one whole chunk region (the block's
+// remaining used bytes, capped at the stage size) on a miss. Callers
+// clamp p to the block's recorded bytes, so the fetch always covers the
+// request.
+func (f *File) stagedReadAt(p []byte, block int, pos int64) error {
+	rs := f.rstage
+	if rs.covers(block, pos, int64(len(p))) {
+		copy(p, rs.data[pos-rs.start:])
+		return nil
+	}
+	// Large-read bypass, mirroring the write path: a request of at least
+	// one buffer is already a big read — serve it directly instead of
+	// growing the pooled cache and paying a second copy.
+	if int64(len(p)) >= rs.size {
+		if _, err := f.fh.ReadAt(p, f.geo.dataOff(geoIndex, block)+pos); err != nil && err != io.EOF {
+			return err
+		}
+		return nil
+	}
+	fetch := rs.size
+	if n := int64(len(p)); fetch < n {
+		fetch = n
+	}
+	if rest := f.readBytes[block] - pos; fetch > rest {
+		fetch = rest
+	}
+	if int64(cap(rs.data)) < fetch {
+		putStageBuf(rs.data)
+		rs.data = getStageBuf(fetch)
+	}
+	rs.data = rs.data[:fetch]
+	rs.block, rs.start = block, pos
+	n, err := f.fh.ReadAt(rs.data, f.geo.dataOff(geoIndex, block)+pos)
+	if err != nil && err != io.EOF {
+		rs.block, rs.data = -1, rs.data[:0]
+		return err
+	}
+	// A short read (sparse tail) leaves the recycled buffer's stale bytes
+	// behind; unwritten regions must read as zeros, like ReadAt's contract.
+	zeroTail(rs.data, n)
+	copy(p, rs.data)
+	return nil
+}
+
+// zeroTail clears b[n:] (the unread remainder of a recycled buffer).
+func zeroTail(b []byte, n int) {
+	for i := n; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// --- SerialFile --------------------------------------------------------------
+
+// serialWriteStage stages one contiguous run of a serial handle's writes:
+// chunk-relative range [start, start+len(buf)) of (rank, block).
+type serialWriteStage struct {
+	size  int64
+	rank  int
+	block int
+	start int64
+	buf   []byte
+}
+
+// serialReadStage caches [start, start+len(data)) of (rank, block)'s data.
+type serialReadStage struct {
+	size  int64
+	rank  int
+	block int
+	start int64
+	data  []byte
+}
+
+// SetBufferSize configures write-behind/read-ahead staging for the serial
+// handle (Create honors Options.BufferSize; Open has no options, so read
+// tools call this). BufferAuto derives the size from the largest aligned
+// chunk of the multifile; 0 disables staging and flushes pending writes.
+func (sf *SerialFile) SetBufferSize(n int64) error {
+	if n < BufferAuto {
+		return fmt.Errorf("sion: %s: BufferSize %d (use 0, a positive size, or BufferAuto)", sf.name, n)
+	}
+	if sf.closed {
+		return fmt.Errorf("sion: %s: handle is closed", sf.name)
+	}
+	if err := sf.stageFlush(); err != nil {
+		return err
+	}
+	if sf.wstage != nil {
+		putStageBuf(sf.wstage.buf)
+		sf.wstage = nil
+	}
+	if sf.rstage != nil {
+		putStageBuf(sf.rstage.data)
+		sf.rstage = nil
+	}
+	var maxAligned int64
+	for _, pf := range sf.files {
+		for _, a := range pf.geo.aligned {
+			if a > maxAligned {
+				maxAligned = a
+			}
+		}
+	}
+	size := resolveBufferSize(n, maxAligned, sf.fsblk)
+	if size <= 0 {
+		return nil
+	}
+	if sf.mode == WriteMode {
+		sf.wstage = &serialWriteStage{size: size, rank: -1, buf: getStageBuf(size)}
+	} else {
+		sf.rstage = &serialReadStage{size: size, rank: -1, block: -1}
+	}
+	return nil
+}
+
+// stageFlush writes every staged byte of the serial write stage.
+func (sf *SerialFile) stageFlush() error {
+	ws := sf.wstage
+	if ws == nil || len(ws.buf) == 0 {
+		return nil
+	}
+	pf := sf.files[sf.mapping[ws.rank].File]
+	li := int(sf.mapping[ws.rank].LocalRank)
+	off := pf.geo.dataOff(li, ws.block) + ws.start
+	if _, err := pf.fh.WriteAt(ws.buf, off); err != nil {
+		return fmt.Errorf("sion: %s: staged serial write: %w", sf.name, err)
+	}
+	ws.start += int64(len(ws.buf))
+	ws.buf = ws.buf[:0]
+	return nil
+}
+
+// stageFlushAligned flushes the staged prefix down to an FS block
+// boundary (buffer-full case), keeping the partial tail block staged.
+func (sf *SerialFile) stageFlushAligned() error {
+	ws := sf.wstage
+	pf := sf.files[sf.mapping[ws.rank].File]
+	li := int(sf.mapping[ws.rank].LocalRank)
+	abs := pf.geo.dataOff(li, ws.block) + ws.start
+	end := abs + int64(len(ws.buf))
+	n := end - end%sf.fsblk - abs
+	if n <= 0 || n == int64(len(ws.buf)) {
+		return sf.stageFlush()
+	}
+	if _, err := pf.fh.WriteAt(ws.buf[:n], abs); err != nil {
+		return fmt.Errorf("sion: %s: staged serial write: %w", sf.name, err)
+	}
+	ws.start += n
+	kept := copy(ws.buf, ws.buf[n:])
+	ws.buf = ws.buf[:kept]
+	return nil
+}
+
+// stagedWrite is the serial write-behind path: contiguous writes at the
+// cursor accumulate in the stage; a cursor that moved elsewhere (Seek, or
+// a block advance) flushes first.
+func (sf *SerialFile) stagedWrite(p []byte) (int, error) {
+	ws := sf.wstage
+	pf, li := sf.cursorFile()
+	capacity := pf.geo.capacity(li)
+	total := 0
+	for len(p) > 0 {
+		if sf.curPos == capacity {
+			if err := sf.stageFlush(); err != nil {
+				return total, err
+			}
+			sf.curBlock++
+			sf.curPos = 0
+		}
+		if ws.rank != sf.curRank || ws.block != sf.curBlock || ws.start+int64(len(ws.buf)) != sf.curPos {
+			if err := sf.stageFlush(); err != nil {
+				return total, err
+			}
+			ws.rank, ws.block, ws.start = sf.curRank, sf.curBlock, sf.curPos
+		}
+		w := int64(len(p))
+		if avail := capacity - sf.curPos; w > avail {
+			w = avail
+		}
+		if len(ws.buf) == 0 && w >= ws.size {
+			// Large-write bypass, as on the parallel path.
+			off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
+			if _, err := pf.fh.WriteAt(p[:w], off); err != nil {
+				return total, fmt.Errorf("sion: %s: serial write: %w", sf.name, err)
+			}
+			ws.start = sf.curPos + w
+		} else {
+			if room := ws.size - int64(len(ws.buf)); w > room {
+				w = room
+			}
+			ws.buf = append(ws.buf, p[:w]...)
+		}
+		sf.curPos += w
+		sf.noteWritten(sf.curRank, sf.curBlock, sf.curPos)
+		total += int(w)
+		p = p[w:]
+		if sf.curPos == capacity {
+			if err := sf.stageFlush(); err != nil {
+				return total, err
+			}
+		} else if int64(len(ws.buf)) >= ws.size {
+			if err := sf.stageFlushAligned(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// stagedReadAt serves [pos, pos+len(p)) of (rank, block)'s data area from
+// the serial read-ahead cache, fetching up to the block's remaining used
+// bytes (capped at the stage size) on a miss.
+func (sf *SerialFile) stagedReadAt(p []byte, pf *physFile, li, rank, block int, pos int64) error {
+	rs := sf.rstage
+	if rank == rs.rank && block == rs.block && pos >= rs.start &&
+		pos+int64(len(p)) <= rs.start+int64(len(rs.data)) {
+		copy(p, rs.data[pos-rs.start:])
+		return nil
+	}
+	if int64(len(p)) >= rs.size {
+		// Large-read bypass, as on the parallel path.
+		if _, err := pf.fh.ReadAt(p, pf.geo.dataOff(li, block)+pos); err != nil && err != io.EOF {
+			return err
+		}
+		return nil
+	}
+	fetch := rs.size
+	if n := int64(len(p)); fetch < n {
+		fetch = n
+	}
+	if rest := pf.m2.BlockBytes[li][block] - pos; fetch > rest {
+		fetch = rest
+	}
+	if int64(cap(rs.data)) < fetch {
+		putStageBuf(rs.data)
+		rs.data = getStageBuf(fetch)
+	}
+	rs.data = rs.data[:fetch]
+	rs.rank, rs.block, rs.start = rank, block, pos
+	n, err := pf.fh.ReadAt(rs.data, pf.geo.dataOff(li, block)+pos)
+	if err != nil && err != io.EOF {
+		rs.rank, rs.block, rs.data = -1, -1, rs.data[:0]
+		return err
+	}
+	zeroTail(rs.data, n)
+	copy(p, rs.data)
+	return nil
+}

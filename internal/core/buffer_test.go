@@ -1,0 +1,434 @@
+package sion
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/simfs"
+	"repro/internal/vtime"
+)
+
+// runSimOn runs body on n simulated ranks against an existing simulated FS
+// (so request counters accumulate across phases).
+func runSimOn(t *testing.T, fs *simfs.FS, n int, body func(c *mpi.Comm, v fsio.FileSystem)) {
+	t.Helper()
+	e := vtime.NewEngine()
+	mpi.RunSim(e, n, mpi.DefaultCost, func(c *mpi.Comm) {
+		body(c, fs.View(c.Rank(), c.Proc()))
+	})
+}
+
+// TestBufferedWriteByteIdentity writes the same payloads through the
+// direct path with several BufferSize settings (tiny, one block, auto,
+// huge, and with chunk headers) and asserts the multifile segments are
+// byte-identical to the unbuffered ones, with Flush interleaved.
+func TestBufferedWriteByteIdentity(t *testing.T) {
+	const n = 5
+	const chunk = int64(700)
+	const fsblk = int64(256)
+	for _, hdrs := range []bool{false, true} {
+		hdrs := hdrs
+		t.Run(fmt.Sprintf("chunkHdrs=%v", hdrs), func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			write := func(file string, bufSize int64) {
+				mpi.Run(n, func(c *mpi.Comm) {
+					f, err := ParOpen(c, fsys, file, WriteMode, &Options{
+						ChunkSize: chunk, FSBlockSize: fsblk, NFiles: 2,
+						ChunkHeaders: hdrs, BufferSize: bufSize,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					payload := rankPayload(c.Rank(), 1700+31*c.Rank())
+					for off, i := 0, 0; off < len(payload); i++ {
+						end := off + 37 + 13*(i%7)
+						if end > len(payload) {
+							end = len(payload)
+						}
+						if _, err := f.Write(payload[off:end]); err != nil {
+							t.Error(err)
+							return
+						}
+						if i%5 == 4 {
+							if err := f.Flush(); err != nil {
+								t.Error(err)
+							}
+						}
+						off = end
+					}
+					if err := f.Close(); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			write("plain.sion", 0)
+			for _, bs := range []int64{17, fsblk, BufferAuto, 1 << 20} {
+				file := fmt.Sprintf("buf%d.sion", bs)
+				write(file, bs)
+				for k := 0; k < 2; k++ {
+					mustEqualFiles(t, fsys, fileName("plain.sion", k), fileName(file, k))
+				}
+			}
+		})
+	}
+}
+
+// TestBufferedWriteRequestReduction proves the write-behind claim on the
+// simulated file system: the small-record workload issues at least 10×
+// fewer write requests through an auto-sized staging buffer.
+func TestBufferedWriteRequestReduction(t *testing.T) {
+	const n = 4
+	const chunk = int64(256 << 10)
+	const record = 128
+	run := func(file string, bufSize int64) int64 {
+		fs := runSim(t, n, func(c *mpi.Comm, fsys fsio.FileSystem) {
+			f, err := ParOpen(c, fsys, file, WriteMode, &Options{
+				ChunkSize: chunk, BufferSize: bufSize,
+			})
+			if err != nil {
+				panic(err)
+			}
+			rec := make([]byte, record)
+			for i := 0; i < int(chunk)/record; i++ {
+				if _, err := f.Write(rec); err != nil {
+					panic(err)
+				}
+			}
+			if err := f.Close(); err != nil {
+				panic(err)
+			}
+		})
+		st, ok := fs.Stats(file)
+		if !ok {
+			t.Fatalf("no stats for %s", file)
+		}
+		return st.WriteRequests
+	}
+	direct := run("direct.sion", 0)
+	buffered := run("buffered.sion", BufferAuto)
+	if buffered*10 > direct {
+		t.Errorf("buffered write requests %d not ≥10× below direct %d", buffered, direct)
+	}
+}
+
+// TestBufferedReadAhead asserts that a buffered read handle serves the
+// sequential and random-access paths correctly (Seek included) and issues
+// far fewer read requests than the unbuffered handle.
+func TestBufferedReadAhead(t *testing.T) {
+	const n = 4
+	const chunk = int64(64 << 10)
+	const record = 128
+	nrec := int(chunk) / record
+
+	write := func(fsys fsio.FileSystem) {
+		mpi.Run(n, func(c *mpi.Comm) {
+			f, err := ParOpen(c, fsys, "ra.sion", WriteMode, &Options{ChunkSize: chunk})
+			if err != nil {
+				panic(err)
+			}
+			if _, err := f.Write(rankPayload(c.Rank(), int(2*chunk))); err != nil {
+				panic(err)
+			}
+			if err := f.Close(); err != nil {
+				panic(err)
+			}
+		})
+	}
+
+	// Correctness on the OS backend: sequential reads, Seek replays, and
+	// ReadLogicalAt probes against the expected payload.
+	fsys := fsio.NewOS(t.TempDir())
+	write(fsys)
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "ra.sion", ReadMode, &Options{BufferSize: 3 * record})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer f.Close()
+		payload := rankPayload(c.Rank(), int(2*chunk))
+		got := make([]byte, len(payload))
+		if _, err := io.ReadFull(f, got); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("rank %d: buffered sequential read mismatch", c.Rank())
+		}
+		// Seek back into the middle of block 0 and re-read across the
+		// chunk boundary; the cursor semantics must match the metadata.
+		if err := f.Seek(0, chunk-int64(record)); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		span := make([]byte, 2*record)
+		if _, err := io.ReadFull(f, span); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if want := payload[chunk-int64(record) : chunk+int64(record)]; !bytes.Equal(span, want) {
+			t.Errorf("rank %d: post-Seek read mismatch", c.Rank())
+		}
+		probe := make([]byte, 999)
+		if _, err := f.ReadLogicalAt(probe, 777); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		} else if !bytes.Equal(probe, payload[777:777+999]) {
+			t.Errorf("rank %d: buffered ReadLogicalAt mismatch", c.Rank())
+		}
+	})
+
+	// Request reduction on the simulated backend.
+	reads := func(bufSize int64) int64 {
+		fs := runSim(t, n, func(c *mpi.Comm, v fsio.FileSystem) {
+			f, err := ParOpen(c, v, "ra.sion", WriteMode, &Options{ChunkSize: chunk})
+			if err != nil {
+				panic(err)
+			}
+			f.WriteSynthetic(2 * chunk)
+			f.Close()
+		})
+		before, _ := fs.Stats("ra.sion")
+		runSimOn(t, fs, n, func(c *mpi.Comm, v fsio.FileSystem) {
+			var opts *Options
+			if bufSize != 0 {
+				opts = &Options{BufferSize: bufSize}
+			}
+			f, err := ParOpen(c, v, "ra.sion", ReadMode, opts)
+			if err != nil {
+				panic(err)
+			}
+			buf := make([]byte, record)
+			for i := 0; i < 2*nrec; i++ {
+				if _, err := f.Read(buf); err != nil {
+					panic(err)
+				}
+			}
+			f.Close()
+		})
+		after, _ := fs.Stats("ra.sion")
+		return after.ReadRequests - before.ReadRequests
+	}
+	direct := reads(0)
+	buffered := reads(BufferAuto)
+	if buffered*10 > direct {
+		t.Errorf("buffered read requests %d not ≥10× below direct %d", buffered, direct)
+	}
+}
+
+// TestWriteSyntheticFlushesStage interleaves buffered Writes with
+// WriteSynthetic and checks the final content: the staged bytes must land
+// at their original offsets (before the synthetic region), not after it.
+func TestWriteSyntheticFlushesStage(t *testing.T) {
+	const chunk = int64(4096)
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "syn.sion", WriteMode, &Options{
+			ChunkSize: chunk, BufferSize: 1024,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		head := rankPayload(c.Rank(), 300)
+		tail := rankPayload(c.Rank()+100, 200)
+		if _, err := f.Write(head); err != nil {
+			t.Error(err)
+		}
+		if err := f.WriteSynthetic(500); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.Write(tail); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	for r := 0; r < 2; r++ {
+		f, err := OpenRank(fsys, "syn.sion", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(append(append([]byte{}, rankPayload(r, 300)...), make([]byte, 500)...), rankPayload(r+100, 200)...)
+		got := make([]byte, len(want))
+		if _, err := io.ReadFull(f, got); err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("rank %d: WriteSynthetic interleaving corrupted the stream", r)
+		}
+		f.Close()
+	}
+}
+
+// TestSerialBufferedRoundTrip drives the serial handle through buffered
+// writes with Seek interleaving (cursor hops between ranks) and buffered
+// reads, asserting byte-identity with an unbuffered serial write.
+func TestSerialBufferedRoundTrip(t *testing.T) {
+	const ntasks = 3
+	chunks := []int64{300, 500, 400}
+	payloads := make([][]byte, ntasks)
+	for r := range payloads {
+		payloads[r] = rankPayload(r, 900+100*r)
+	}
+	write := func(fsys fsio.FileSystem, bufSize int64) {
+		sf, err := Create(fsys, "s.sion", chunks, &Options{FSBlockSize: 128, BufferSize: bufSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interleave: write each task's payload in pieces, round-robin,
+		// so every piece forces a Seek away and back.
+		offs := make([]int, ntasks)
+		for done := 0; done < ntasks; {
+			done = 0
+			for r := 0; r < ntasks; r++ {
+				if offs[r] >= len(payloads[r]) {
+					done++
+					continue
+				}
+				end := offs[r] + 111
+				if end > len(payloads[r]) {
+					end = len(payloads[r])
+				}
+				capr := alignUp(chunks[r], 128)
+				block := int64(offs[r]) / capr
+				pos := int64(offs[r]) % capr
+				if err := sf.Seek(r, int(block), pos); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sf.Write(payloads[r][offs[r]:end]); err != nil {
+					t.Fatal(err)
+				}
+				offs[r] = end
+			}
+		}
+		if err := sf.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plain := fsio.NewOS(t.TempDir())
+	write(plain, 0)
+	for _, bs := range []int64{33, BufferAuto} {
+		buffered := fsio.NewOS(t.TempDir())
+		write(buffered, bs)
+		// Compare the two trees' physical files byte-for-byte.
+		for k := 0; k < 1; k++ {
+			a, err := plain.Open(fileName("s.sion", k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := buffered.Open(fileName("s.sion", k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			as, _ := a.Size()
+			bs2, _ := b.Size()
+			if as != bs2 {
+				t.Fatalf("buffer %d: sizes differ: %d vs %d", bs, as, bs2)
+			}
+			ab := make([]byte, as)
+			bb := make([]byte, bs2)
+			a.ReadAt(ab, 0)
+			b.ReadAt(bb, 0)
+			if !bytes.Equal(ab, bb) {
+				t.Errorf("buffer %d: serial multifile not byte-identical", bs)
+			}
+			a.Close()
+			b.Close()
+		}
+		// Buffered read-back through the serial global view.
+		sf, err := Open(buffered, "s.sion")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sf.SetBufferSize(BufferAuto); err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < ntasks; r++ {
+			got, err := sf.ReadRank(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payloads[r]) {
+				t.Errorf("buffer %d: rank %d buffered serial read mismatch", bs, r)
+			}
+		}
+		sf.Close()
+	}
+}
+
+// TestSetBufferSizeValidation covers the error paths of the staging
+// configuration.
+func TestSetBufferSizeValidation(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "v.sion", WriteMode, &Options{ChunkSize: 512})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := f.SetBufferSize(-2); err == nil {
+			t.Error("SetBufferSize(-2) did not fail")
+		}
+		if err := f.SetBufferSize(64); err != nil {
+			t.Error(err)
+		}
+		if _, err := f.Write(make([]byte, 100)); err != nil {
+			t.Error(err)
+		}
+		if err := f.SetBufferSize(0); err != nil { // flushes and disables
+			t.Error(err)
+		}
+		f.Close()
+	})
+	if _, err := (&Options{ChunkSize: 1, BufferSize: -5}).withDefaults(1); err == nil {
+		t.Error("Options.BufferSize=-5 accepted")
+	}
+}
+
+// TestKeyReaderRespectsStagingOptOut: an explicit SetBufferSize(0) must
+// keep NewKeyReader from arming its automatic read-ahead, while the
+// default (no call) arms it.
+func TestKeyReaderRespectsStagingOptOut(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(1, func(c *mpi.Comm) {
+		f, err := ParOpen(c, fsys, "k.sion", WriteMode, &Options{ChunkSize: 1024})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		w, _ := NewKeyWriter(f)
+		w.WriteKey(7, []byte("payload"))
+		f.Close()
+	})
+	open := func(optOut bool) *File {
+		f, err := OpenRank(fsys, "k.sion", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optOut {
+			if err := f.SetBufferSize(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := NewKeyReader(f); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f := open(false)
+	if f.rstage == nil {
+		t.Error("NewKeyReader did not arm read-ahead by default")
+	}
+	f.Close()
+	f = open(true)
+	if f.rstage != nil {
+		t.Error("NewKeyReader overrode an explicit SetBufferSize(0) opt-out")
+	}
+	f.Close()
+}

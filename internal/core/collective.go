@@ -247,6 +247,7 @@ func (f *File) runSimFlusher(wfs fsio.FileSystem, p *vtime.Proc) {
 		if fh != nil {
 			f.collNote(applyCollFrame(fh, f.name, s.fr))
 		}
+		putStageBuf(s.fr.data)
 	}
 	if fh != nil {
 		if cerr := fh.Close(); cerr != nil {
@@ -327,12 +328,12 @@ func (f *File) collEmit(final bool) error {
 	}
 	if c.async && c.queue != nil { // real mode: bounded flusher queue
 		c.queue <- fr
-		c.buf = make([]byte, 0, c.quantum)
+		c.buf = getStageBuf(c.quantum) // the flusher recycles fr.data
 		return nil
 	}
 	if c.async && c.simf != nil { // sim mode: background flusher process
 		f.simEnqueue(fr)
-		c.buf = make([]byte, 0, c.quantum)
+		c.buf = getStageBuf(c.quantum)
 		return nil
 	}
 	// Collector applying its own data inline (sync mode, or async without
@@ -411,6 +412,7 @@ func (f *File) collTake(member int, raw []byte) {
 		return
 	}
 	f.collNote(applyCollFrame(f.fh, f.name, fr))
+	putStageBuf(fr.data)
 }
 
 // collDrainArrived applies every member frame that is already available
@@ -449,6 +451,7 @@ func (f *File) collFlusher() {
 				return
 			}
 			f.collNote(applyCollFrame(f.fh, f.name, fr))
+			putStageBuf(fr.data)
 			worked = true
 		default:
 		}
@@ -512,6 +515,7 @@ func (f *File) collClose() error {
 		}
 		f.collFinishBytes(c.shipped)
 		status := decodeInt64s(f.lcomm.Recv(c.lead, tagCollDone))[0]
+		c.releaseBufs()
 		if status != 0 {
 			return fmt.Errorf("sion: %s: collective write failed at collector %d (deferred write error)", f.name, c.lead)
 		}
@@ -531,6 +535,7 @@ func (f *File) collClose() error {
 			data:     c.buf,
 		}
 		c.shipped += int64(len(c.buf))
+		c.buf = nil // the frame owns the buffer now; the flusher recycles it
 		c.queue <- fr
 		close(c.queue)
 		<-c.done
@@ -574,7 +579,16 @@ func (f *File) collClose() error {
 	for _, m := range c.members {
 		f.lcomm.Send(m, tagCollDone, encodeInt64s(status))
 	}
+	c.releaseBufs()
 	return err
+}
+
+// releaseBufs returns the staging double-buffers to the shared pool once
+// no frame can reference them anymore (after the flusher has finished).
+func (c *collState) releaseBufs() {
+	putStageBuf(c.buf)
+	putStageBuf(c.spare)
+	c.buf, c.spare = nil, nil
 }
 
 // collFinishBytes fills the write-side cursor state from the task's total
@@ -716,13 +730,17 @@ func (f *File) setCollRead(buf []byte) {
 	f.collRead = st
 }
 
-// readChunkAt fills p from (block, pos) of this task's chunk data, either
-// from the physical file or from the collective-read prefetch buffer.
+// readChunkAt fills p from (block, pos) of this task's chunk data: from
+// the collective-read prefetch buffer, the read-ahead stage (buffer.go),
+// or the physical file directly.
 func (f *File) readChunkAt(p []byte, block int, pos int64) error {
 	if f.collRead != nil {
 		off := f.collRead.base[block] + pos
 		copy(p, f.collRead.buf[off:])
 		return nil
+	}
+	if f.rstage != nil {
+		return f.stagedReadAt(p, block, pos)
 	}
 	if _, err := f.fh.ReadAt(p, f.geo.dataOff(geoIndex, block)+pos); err != nil && err != io.EOF {
 		return err

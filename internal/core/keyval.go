@@ -58,10 +58,18 @@ type KeyReader struct {
 }
 
 // NewKeyReader scans a read-mode File (from ParOpen or OpenRank) and
-// builds the key index.
+// builds the key index. The scan reads one record header at a time, which
+// would issue one file request per record without buffering, so NewKeyReader
+// arms the read-ahead stage (buffer.go) with an auto-tuned size unless the
+// handle already serves reads from memory (collective read), carries a
+// stage of its own, or was explicitly opted out with SetBufferSize(0);
+// per-record Record/ReadKey calls then hit the same cache.
 func NewKeyReader(f *File) (*KeyReader, error) {
 	if err := f.checkOpen(ReadMode); err != nil {
 		return nil, err
+	}
+	if f.collRead == nil && f.rstage == nil && !f.stagingOff {
+		f.initStaging(BufferAuto)
 	}
 	r := &KeyReader{f: f, index: make(map[uint64][]keyRef)}
 	var off int64

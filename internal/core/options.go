@@ -112,6 +112,29 @@ type Options struct {
 	// whole number of FS blocks), capped at asyncFlushCap to bound the
 	// memory in flight per member.
 	AsyncFlushBytes int64
+
+	// BufferSize enables buffered staging I/O on the direct path (see
+	// buffer.go): write-behind coalesces small Writes into a staging
+	// buffer flushed in FS-block-aligned extents (at buffer-full, chunk
+	// boundaries, Flush, and Close), and read-ahead fetches up to one
+	// whole chunk region per file request, serving subsequent Reads from
+	// memory. The multifile produced with any BufferSize is byte-identical
+	// to the unbuffered one, and Seek/EOF/BytesAvailInChunk semantics are
+	// unchanged.
+	//
+	// Values: 0 disables staging (the default, today's one-request-per-
+	// call behavior); a positive value is the exact buffer size in bytes;
+	// BufferAuto (-1) derives the size from the chunk geometry — one chunk
+	// capacity rounded up to a multiple of the FS block size, capped at
+	// bufferAutoCap — so a small-record checkpoint issues roughly one
+	// write request per chunk instead of one per record.
+	//
+	// Collective handles ignore BufferSize: members route data through
+	// frames that already coalesce at the collector, and collective reads
+	// prefetch whole streams at open. Handles opened without options
+	// (OpenRank, the serial Open) can enable staging afterwards with
+	// SetBufferSize.
+	BufferSize int64
 }
 
 // CollectorAuto selects the collector group size automatically
@@ -177,6 +200,9 @@ func (o *Options) withDefaults(ntasks int) (Options, error) {
 	}
 	if out.AsyncFlushBytes < 0 {
 		return out, fmt.Errorf("sion: negative AsyncFlushBytes %d", out.AsyncFlushBytes)
+	}
+	if out.BufferSize < BufferAuto {
+		return out, fmt.Errorf("sion: BufferSize %d (use 0 to disable, a positive size, or BufferAuto)", out.BufferSize)
 	}
 	return out, nil
 }

@@ -56,6 +56,14 @@ type File struct {
 	collRead  *collReadState
 	collGroup int
 	collLead  bool
+
+	// Buffered staging for the direct path (see buffer.go): write-behind
+	// (wstage) and read-ahead (rstage); nil = unbuffered. stagingOff
+	// records an explicit SetBufferSize(0) opt-out, which NewKeyReader's
+	// automatic read-ahead respects.
+	wstage     *writeStage
+	rstage     *readStage
+	stagingOff bool
 }
 
 var (
@@ -238,6 +246,7 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 		return nil, err
 	}
 	f.initCollective(group, o.AsyncCollective, o.AsyncFlushBytes)
+	f.initStaging(o.BufferSize)
 	return f, nil
 }
 
@@ -407,6 +416,7 @@ func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Option
 		return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
 	}
 	f.fh = fh
+	f.initStaging(o.BufferSize)
 	return f, nil
 }
 
@@ -490,6 +500,9 @@ func (f *File) Write(p []byte) (int, error) {
 	if f.collectiveEnabled() {
 		return f.collWrite(p)
 	}
+	if f.buffered() {
+		return f.stagedWrite(p)
+	}
 	total := 0
 	for len(p) > 0 {
 		avail := f.ChunkCapacity() - f.pos
@@ -516,13 +529,21 @@ func (f *File) Write(p []byte) (int, error) {
 }
 
 // WriteSynthetic writes n synthetic zero bytes through the identical chunk
-// logic (used by the at-scale benchmark harness; see fsio.File).
+// logic (used by the at-scale benchmark harness; see fsio.File). On a
+// buffered handle it first flushes the staging buffer and then bypasses
+// it: the synthetic path exists to avoid materializing payload bytes, and
+// flushing first keeps the physical extents in write order (a stale stage
+// would otherwise land behind the synthetic region later, at an offset
+// that no longer matches the cursor).
 func (f *File) WriteSynthetic(n int64) error {
 	if err := f.checkOpen(WriteMode); err != nil {
 		return err
 	}
 	if f.collectiveEnabled() {
 		return fmt.Errorf("sion: %s: WriteSynthetic is unsupported in collective mode", f.name)
+	}
+	if err := f.stageFlush(); err != nil {
+		return err
 	}
 	for n > 0 {
 		avail := f.ChunkCapacity() - f.pos
@@ -581,6 +602,11 @@ func (f *File) sealBlock(b int, bytes int64) error {
 // can request a new chunk of the same size" — a whole new block is
 // allocated logically; unused chunks remain file-system holes).
 func (f *File) advanceBlock() error {
+	// Staged bytes of the finished chunk must land before the cursor moves
+	// (they address the current block's data region).
+	if err := f.stageFlush(); err != nil {
+		return err
+	}
 	if err := f.sealBlock(f.curBlock, f.pos); err != nil {
 		return err
 	}
@@ -626,7 +652,10 @@ func (f *File) Read(p []byte) (int, error) {
 }
 
 // ReadSynthetic consumes n logical bytes without materializing them,
-// returning the count actually consumed (benchmark path).
+// returning the count actually consumed (benchmark path). It bypasses the
+// read-ahead stage by design: populating a cache with discarded bytes
+// would charge the fetch twice, and the stage (keyed by absolute chunk
+// positions) stays valid regardless of where the cursor lands.
 func (f *File) ReadSynthetic(n int64) (int64, error) {
 	if err := f.checkOpen(ReadMode); err != nil {
 		return 0, err
@@ -706,6 +735,9 @@ func (f *File) Flush() error {
 	if f.collectiveEnabled() {
 		return f.collFlush()
 	}
+	if err := f.stageFlush(); err != nil {
+		return err
+	}
 	return f.fh.Sync()
 }
 
@@ -728,11 +760,15 @@ func (f *File) Close() error {
 			firstErr = err
 		}
 	} else if f.mode == WriteMode {
+		if err := f.stageFlush(); err != nil {
+			firstErr = err
+		}
 		f.blockBytes[f.curBlock] = f.pos
-		if err := f.sealBlock(f.curBlock, f.pos); err != nil {
+		if err := f.sealBlock(f.curBlock, f.pos); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
+	f.dropStaging()
 	if f.lcomm == nil { // serial OpenRank handle
 		return closeKeep(f.fh, firstErr)
 	}

@@ -11,11 +11,29 @@ import (
 	"repro/internal/mpi"
 )
 
+// bufSizeChoices are the staging-buffer classes the property test draws
+// from: unbuffered, a tiny odd size (forces sub-block flushes), the
+// auto-tuned size, and one far larger than any chunk.
+func bufSizeChoices(rng *rand.Rand) int64 {
+	switch rng.Intn(4) {
+	case 0:
+		return 0
+	case 1:
+		return int64(1 + rng.Intn(48)) // tiny
+	case 2:
+		return BufferAuto
+	default:
+		return 1 << 20 // huge
+	}
+}
+
 // TestPropertyRoundTripModes is a property-style test over random
 // configurations: for random task counts, physical-file counts, chunk
-// sizes, and mappings, the direct, synchronous-collective, and
-// async-collective write paths must produce byte-identical multifiles,
-// and both direct and collective reads must return exactly the written
+// sizes, mappings, and staging-buffer sizes, the direct,
+// buffered-direct, synchronous-collective, and async-collective write
+// paths must produce byte-identical multifiles (with Flush interleaved
+// into the buffered writes), and direct, buffered (with Seek
+// interleaving), and collective reads must return exactly the written
 // payloads (sequentially and via ReadLogicalAt).
 func TestPropertyRoundTripModes(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
@@ -42,6 +60,8 @@ func TestPropertyRoundTripModes(t *testing.T) {
 		if rng.Intn(2) == 0 {
 			flush = int64(32 + rng.Intn(256))
 		}
+		bufSize := bufSizeChoices(rng)
+		readBuf := bufSizeChoices(rng)
 		m := maps[rng.Intn(len(maps))]
 
 		// Per-rank payload sizes: empty, sub-chunk, multi-chunk, and
@@ -59,23 +79,26 @@ func TestPropertyRoundTripModes(t *testing.T) {
 			}
 		}
 
-		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d fsblk=%d g=%d q=%d map=%s",
-			iter, n, nfiles, chunk, fsblk, group, flush, m.name)
+		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d fsblk=%d g=%d q=%d buf=%d rbuf=%d map=%s",
+			iter, n, nfiles, chunk, fsblk, group, flush, bufSize, readBuf, m.name)
 		t.Run(name, func(t *testing.T) {
 			fsys := fsio.NewOS(t.TempDir())
-			write := func(file string, g int, async bool) {
+			write := func(file string, g int, async bool, buf int64) {
 				mpi.Run(n, func(c *mpi.Comm) {
 					f, err := ParOpen(c, fsys, file, WriteMode, &Options{
 						ChunkSize: chunk, FSBlockSize: fsblk, NFiles: nfiles,
 						Mapping: m.fn, CollectorGroup: g,
 						AsyncCollective: async, AsyncFlushBytes: flush,
+						BufferSize: buf,
 					})
 					if err != nil {
 						t.Error(err)
 						return
 					}
 					payload := rankPayload(c.Rank(), sizes[c.Rank()])
-					// Write in randomly sized pieces (deterministic per rank).
+					// Write in randomly sized pieces (deterministic per rank),
+					// with Flush interleaved so partial staging buffers hit
+					// the file mid-stream.
 					prng := rand.New(rand.NewSource(int64(1000*iter + c.Rank())))
 					for off := 0; off < len(payload); {
 						end := off + 1 + prng.Intn(2*int(chunk))
@@ -86,6 +109,12 @@ func TestPropertyRoundTripModes(t *testing.T) {
 							t.Error(err)
 							return
 						}
+						if prng.Intn(3) == 0 {
+							if err := f.Flush(); err != nil {
+								t.Error(err)
+								return
+							}
+						}
 						off = end
 					}
 					if err := f.Close(); err != nil {
@@ -93,11 +122,13 @@ func TestPropertyRoundTripModes(t *testing.T) {
 					}
 				})
 			}
-			write("direct.sion", 0, false)
-			write("coll.sion", group, false)
-			write("async.sion", group, true)
+			write("direct.sion", 0, false, 0)
+			write("buffered.sion", 0, false, bufSize)
+			write("coll.sion", group, false, 0)
+			write("async.sion", group, true, 0)
 			for k := 0; k < nfiles; k++ {
 				a := fileName("direct.sion", k)
+				mustEqualFiles(t, fsys, a, fileName("buffered.sion", k))
 				mustEqualFiles(t, fsys, a, fileName("coll.sion", k))
 				mustEqualFiles(t, fsys, a, fileName("async.sion", k))
 			}
@@ -105,13 +136,20 @@ func TestPropertyRoundTripModes(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Read everything back, direct and collective.
-			for _, rg := range []int{0, group} {
-				rg := rg
+			// Read everything back: direct, buffered (read-ahead), and
+			// collective.
+			modes := []struct {
+				rg  int
+				buf int64
+			}{{0, 0}, {0, readBuf}, {group, 0}}
+			for _, mode := range modes {
+				rg, rbuf := mode.rg, mode.buf
 				mpi.Run(n, func(c *mpi.Comm) {
 					var ropts *Options
 					if rg != 0 {
 						ropts = &Options{CollectorGroup: rg}
+					} else if rbuf != 0 {
+						ropts = &Options{BufferSize: rbuf}
 					}
 					r, err := ParOpen(c, fsys, "async.sion", ReadMode, ropts)
 					if err != nil {
@@ -142,6 +180,36 @@ func TestPropertyRoundTripModes(t *testing.T) {
 							t.Errorf("rank %d: ReadLogicalAt(%d,%d): %v", c.Rank(), off, ln, err)
 						} else if !bytes.Equal(probe, payload[off:off+ln]) {
 							t.Errorf("rank %d: ReadLogicalAt(%d,%d) mismatch", c.Rank(), off, ln)
+						}
+					}
+					// Seek interleaving: hop the cursor to random recorded
+					// positions and re-read sequentially from there; the
+					// read-ahead cache must stay coherent across hops.
+					for p := 0; p < 3 && len(payload) > 0; p++ {
+						loff := prng.Intn(len(payload))
+						block, pos, rest := 0, int64(loff), int64(0)
+						for b := 0; b < r.Blocks(); b++ {
+							if err := r.Seek(b, 0); err != nil {
+								t.Errorf("rank %d: Seek(%d,0): %v", c.Rank(), b, err)
+								return
+							}
+							if avail := r.BytesAvailInChunk(); pos < avail {
+								block, rest = b, avail-pos
+								break
+							} else {
+								pos -= avail
+							}
+						}
+						if err := r.Seek(block, pos); err != nil {
+							t.Errorf("rank %d: Seek(%d,%d): %v", c.Rank(), block, pos, err)
+							return
+						}
+						ln := 1 + prng.Intn(int(rest))
+						span := make([]byte, ln)
+						if _, err := io.ReadFull(r, span); err != nil {
+							t.Errorf("rank %d: post-Seek read: %v", c.Rank(), err)
+						} else if !bytes.Equal(span, payload[loff:loff+ln]) {
+							t.Errorf("rank %d: post-Seek read mismatch at %d+%d", c.Rank(), loff, ln)
 						}
 					}
 				})

@@ -31,6 +31,11 @@ type SerialFile struct {
 
 	// Write mode: per global rank, per block: high-water byte counts.
 	written [][]int64
+
+	// Buffered staging (see buffer.go): write-behind for the cursor's
+	// contiguous run, read-ahead for the cursor's chunk; nil = unbuffered.
+	wstage *serialWriteStage
+	rstage *serialReadStage
 }
 
 // physFile is one physical file of the multifile in serial view.
@@ -119,6 +124,12 @@ func Create(fsys fsio.FileSystem, name string, chunkSizes []int64, opts *Options
 			return nil, fmt.Errorf("sion: Create %s: header: %w", name, err)
 		}
 		sf.files[k] = &physFile{fh: fh, h: h, geo: newGeometry(h)}
+	}
+	if o.BufferSize != 0 {
+		if err := sf.SetBufferSize(o.BufferSize); err != nil {
+			sf.abort()
+			return nil, err
+		}
 	}
 	return sf, nil
 }
@@ -335,6 +346,11 @@ func (sf *SerialFile) Seek(rank, block int, pos int64) error {
 			return fmt.Errorf("sion: %s: Seek(%d,%d,%d) outside recorded data", sf.name, rank, block, pos)
 		}
 	}
+	// A moved cursor ends the write stage's contiguous run; the read-ahead
+	// cache stays valid (read-mode data is immutable), so only writes flush.
+	if err := sf.stageFlush(); err != nil {
+		return err
+	}
 	sf.curRank, sf.curBlock, sf.curPos = rank, block, pos
 	return nil
 }
@@ -352,6 +368,9 @@ func (sf *SerialFile) Write(p []byte) (int, error) {
 	}
 	if sf.curRank < 0 {
 		return 0, fmt.Errorf("sion: %s: Write before Seek", sf.name)
+	}
+	if sf.wstage != nil {
+		return sf.stagedWrite(p)
 	}
 	pf, li := sf.cursorFile()
 	cap := pf.geo.capacity(li)
@@ -415,9 +434,15 @@ func (sf *SerialFile) Read(p []byte) (int, error) {
 		if r > avail {
 			r = avail
 		}
-		off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
-		if _, err := pf.fh.ReadAt(p[:r], off); err != nil && err != io.EOF {
-			return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
+		if sf.rstage != nil {
+			if err := sf.stagedReadAt(p[:r], pf, li, sf.curRank, sf.curBlock, sf.curPos); err != nil {
+				return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
+			}
+		} else {
+			off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
+			if _, err := pf.fh.ReadAt(p[:r], off); err != nil && err != io.EOF {
+				return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
+			}
 		}
 		sf.curPos += r
 		total += int(r)
@@ -452,6 +477,15 @@ func (sf *SerialFile) Close() error {
 	}
 	sf.closed = true
 	var firstErr error
+	firstErr = sf.stageFlush()
+	if sf.wstage != nil {
+		putStageBuf(sf.wstage.buf)
+		sf.wstage = nil
+	}
+	if sf.rstage != nil {
+		putStageBuf(sf.rstage.data)
+		sf.rstage = nil
+	}
 	if sf.mode == WriteMode {
 		for k, pf := range sf.files {
 			nlocal := int(pf.h.NTasksLocal)

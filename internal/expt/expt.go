@@ -139,6 +139,7 @@ func All(scale int) []*Result {
 		Fig6(scale),
 		Table2(scale),
 		Table3(scale),
+		Table4(scale),
 	}
 }
 
@@ -165,11 +166,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table2
 	case "tab3", "table3":
 		return Table3
+	case "tab4", "table4":
+		return Table4
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4"}
 }

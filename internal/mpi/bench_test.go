@@ -34,6 +34,21 @@ func BenchmarkGatherv64Real(b *testing.B) {
 	})
 }
 
+// Allocation pressure of the typed slice collectives on the ParOpen
+// critical path: the root decodes gathers into one flat array (slice
+// views per rank) and flat-encodes scatters, so allocations stay O(1) in
+// the rank count instead of O(ranks) per collective.
+func BenchmarkGatherScatterInt64Slice64(b *testing.B) {
+	b.ReportAllocs()
+	Run(64, func(c *Comm) {
+		vals := []int64{int64(c.Rank()), 42, 7}
+		for i := 0; i < b.N; i++ {
+			all := c.GatherInt64Slice(0, vals)
+			c.ScatterInt64Slice(0, all)
+		}
+	})
+}
+
 // Simulated-mode cost: how fast the engine retires collectives at scale.
 func BenchmarkSimWorld4096ParOpenShape(b *testing.B) {
 	for i := 0; i < b.N; i++ {

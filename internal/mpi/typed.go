@@ -67,26 +67,57 @@ func (c *Comm) ScatterInt64(root int, vals []int64) int64 {
 }
 
 // GatherInt64Slice gathers a variable-length int64 slice per rank at root.
+// The root decodes into one flat backing array and returns per-rank slice
+// views into it instead of one allocation per rank: this sits on the
+// ParOpen critical path (chunk-size and block-count gathers), where a
+// 64 Ki-task open would otherwise pay 64 Ki root-side allocations.
 func (c *Comm) GatherInt64Slice(root int, vals []int64) [][]int64 {
 	parts := c.Gatherv(root, encodeInt64s(vals))
 	if parts == nil {
 		return nil
 	}
+	total := 0
+	for _, p := range parts {
+		total += len(p) / 8
+	}
+	flat := make([]int64, total)
 	out := make([][]int64, len(parts))
+	off := 0
 	for i, p := range parts {
-		out[i] = decodeInt64s(p)
+		n := len(p) / 8
+		view := flat[off : off+n : off+n]
+		for j := range view {
+			view[j] = int64(binary.LittleEndian.Uint64(p[8*j:]))
+		}
+		out[i] = view
+		off += n
 	}
 	return out
 }
 
 // ScatterInt64Slice distributes one variable-length int64 slice per rank
-// from root and returns the caller's slice.
+// from root and returns the caller's slice. The root flat-encodes all
+// parts into one buffer and hands Scatterv per-rank views (Send copies,
+// so the shared backing array is safe), avoiding one allocation per rank
+// on the ParOpen critical path.
 func (c *Comm) ScatterInt64Slice(root int, vals [][]int64) []int64 {
 	var parts [][]byte
 	if c.rank == root {
+		total := 0
+		for _, v := range vals {
+			total += len(v)
+		}
+		flat := make([]byte, 8*total)
 		parts = make([][]byte, len(vals))
+		off := 0
 		for i, v := range vals {
-			parts[i] = encodeInt64s(v)
+			end := off + 8*len(v)
+			view := flat[off:end:end]
+			for j, x := range v {
+				binary.LittleEndian.PutUint64(view[8*j:], uint64(x))
+			}
+			parts[i] = view
+			off = end
 		}
 	}
 	return decodeInt64s(c.Scatterv(root, parts))

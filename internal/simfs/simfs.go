@@ -613,10 +613,16 @@ func (h *handle) Close() error {
 }
 
 // addExtentProbe returns how many bytes addExtent would newly allocate.
+// The extent list is sorted and disjoint, so a binary search locates the
+// first extent that can overlap [off, end) and the scan stops at the
+// first one past it — O(log n + k) for k overlapping extents, where the
+// old full scan was O(n) per write and dominated long simulated runs.
 func (f *file) addExtentProbe(off, end int64) int64 {
+	es := f.extents
+	i := sort.Search(len(es), func(i int) bool { return es[i].end > off })
 	var overlap int64
-	for _, e := range f.extents {
-		lo, hi := max64(e.off, off), min64(e.end, end)
+	for ; i < len(es) && es[i].off < end; i++ {
+		lo, hi := max64(es[i].off, off), min64(es[i].end, end)
 		if hi > lo {
 			overlap += hi - lo
 		}
