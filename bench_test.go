@@ -134,3 +134,14 @@ func BenchmarkTable4BufferedIO(b *testing.B) {
 		return lastFloat(r.Rows[0], 3) / lastFloat(r.Rows[2], 3), "write-speedup"
 	})
 }
+
+// BenchmarkTable5MappedReopen regenerates the rescaled-reopen table; the
+// metric is the direct/collective read-request ratio of the last reader
+// configuration (M > N), i.e. how many physical reads the mapped
+// collectors save on a rescaled restart.
+func BenchmarkTable5MappedReopen(b *testing.B) {
+	benchExperiment(b, "tab5", func(r *expt.Result) (float64, string) {
+		last := len(r.Rows) - 1
+		return lastFloat(r.Rows[last-1], 4) / lastFloat(r.Rows[last], 4), "read-request-reduction"
+	})
+}

@@ -164,6 +164,19 @@ func (f *File) SetBufferSize(n int64) error {
 	return nil
 }
 
+// releaseStage returns the read-ahead stage's buffer to the pool while
+// keeping the stage armed (the next miss refetches). The serial cursor
+// calls this when it leaves a rank, so a global-view scan over many tasks
+// holds at most one staging buffer at a time, as the pre-mapped serial
+// read stage did.
+func (f *File) releaseStage() {
+	if f.rstage != nil {
+		putStageBuf(f.rstage.data)
+		f.rstage.data = nil
+		f.rstage.block = -1
+	}
+}
+
 // dropStaging releases the stage buffers back to the shared pool.
 func (f *File) dropStaging() {
 	if f.wstage != nil {
@@ -327,19 +340,13 @@ type serialWriteStage struct {
 	buf   []byte
 }
 
-// serialReadStage caches [start, start+len(data)) of (rank, block)'s data.
-type serialReadStage struct {
-	size  int64
-	rank  int
-	block int
-	start int64
-	data  []byte
-}
-
 // SetBufferSize configures write-behind/read-ahead staging for the serial
 // handle (Create honors Options.BufferSize; Open has no options, so read
-// tools call this). BufferAuto derives the size from the largest aligned
-// chunk of the multifile; 0 disables staging and flushes pending writes.
+// tools call this). In write mode, BufferAuto derives the size from the
+// largest aligned chunk of the multifile; 0 disables staging and flushes
+// pending writes. In read mode the call is forwarded to the per-rank
+// mapped handles (SerialFile is the M=1 mapped case), so each rank gets a
+// read-ahead stage sized to its own chunk geometry.
 func (sf *SerialFile) SetBufferSize(n int64) error {
 	if n < BufferAuto {
 		return fmt.Errorf("sion: %s: BufferSize %d (use 0, a positive size, or BufferAuto)", sf.name, n)
@@ -347,16 +354,20 @@ func (sf *SerialFile) SetBufferSize(n int64) error {
 	if sf.closed {
 		return fmt.Errorf("sion: %s: handle is closed", sf.name)
 	}
+	if sf.mode == ReadMode {
+		for r := 0; r < sf.ntasks; r++ {
+			if err := sf.handles[r].SetBufferSize(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if err := sf.stageFlush(); err != nil {
 		return err
 	}
 	if sf.wstage != nil {
 		putStageBuf(sf.wstage.buf)
 		sf.wstage = nil
-	}
-	if sf.rstage != nil {
-		putStageBuf(sf.rstage.data)
-		sf.rstage = nil
 	}
 	var maxAligned int64
 	for _, pf := range sf.files {
@@ -370,11 +381,7 @@ func (sf *SerialFile) SetBufferSize(n int64) error {
 	if size <= 0 {
 		return nil
 	}
-	if sf.mode == WriteMode {
-		sf.wstage = &serialWriteStage{size: size, rank: -1, buf: getStageBuf(size)}
-	} else {
-		sf.rstage = &serialReadStage{size: size, rank: -1, block: -1}
-	}
+	sf.wstage = &serialWriteStage{size: size, rank: -1, buf: getStageBuf(size)}
 	return nil
 }
 
@@ -472,42 +479,3 @@ func (sf *SerialFile) stagedWrite(p []byte) (int, error) {
 	return total, nil
 }
 
-// stagedReadAt serves [pos, pos+len(p)) of (rank, block)'s data area from
-// the serial read-ahead cache, fetching up to the block's remaining used
-// bytes (capped at the stage size) on a miss.
-func (sf *SerialFile) stagedReadAt(p []byte, pf *physFile, li, rank, block int, pos int64) error {
-	rs := sf.rstage
-	if rank == rs.rank && block == rs.block && pos >= rs.start &&
-		pos+int64(len(p)) <= rs.start+int64(len(rs.data)) {
-		copy(p, rs.data[pos-rs.start:])
-		return nil
-	}
-	if int64(len(p)) >= rs.size {
-		// Large-read bypass, as on the parallel path.
-		if _, err := pf.fh.ReadAt(p, pf.geo.dataOff(li, block)+pos); err != nil && err != io.EOF {
-			return err
-		}
-		return nil
-	}
-	fetch := rs.size
-	if n := int64(len(p)); fetch < n {
-		fetch = n
-	}
-	if rest := pf.m2.BlockBytes[li][block] - pos; fetch > rest {
-		fetch = rest
-	}
-	if int64(cap(rs.data)) < fetch {
-		putStageBuf(rs.data)
-		rs.data = getStageBuf(fetch)
-	}
-	rs.data = rs.data[:fetch]
-	rs.rank, rs.block, rs.start = rank, block, pos
-	n, err := pf.fh.ReadAt(rs.data, pf.geo.dataOff(li, block)+pos)
-	if err != nil && err != io.EOF {
-		rs.rank, rs.block, rs.data = -1, -1, rs.data[:0]
-		return err
-	}
-	zeroTail(rs.data, n)
-	copy(p, rs.data)
-	return nil
-}

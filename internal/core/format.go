@@ -10,6 +10,7 @@
 //
 //	C API                          Go API
 //	sion_paropen_mpi               ParOpen (collective)
+//	sion_paropen_mapped            ParOpenMapped (collective, M readers ≠ N writers)
 //	sion_parclose_mpi              (*File).Close (collective)
 //	sion_ensure_free_space         (*File).EnsureFreeSpace
 //	sion_bytes_avail_in_chunk      (*File).BytesAvailInChunk
@@ -373,6 +374,43 @@ func readTail(f fsio.File, ntasks int) (*meta2, error) {
 		return nil, fmt.Errorf("%w: metablock 2 checksum mismatch", ErrCorrupt)
 	}
 	return parseMeta2(enc, ntasks)
+}
+
+// encodeMapping serializes a global task placement table (8 bytes per
+// task) for the header of physical file 0 and for the open-time exchanges
+// (write-mode mapping forwarding, mapped-open broadcast).
+func encodeMapping(m []FileLoc) []byte {
+	buf := make([]byte, 8*len(m))
+	for i, fl := range m {
+		le().PutUint32(buf[8*i:], uint32(fl.File))
+		le().PutUint32(buf[8*i+4:], uint32(fl.LocalRank))
+	}
+	return buf
+}
+
+// decodeMapping parses a placement table for ntasks tasks over nfiles
+// physical files, validating exactly like parseHeader does for the stored
+// copy: the byte count must match and every entry must point inside the
+// multifile. Truncated buffers and out-of-range indices yield ErrCorrupt
+// instead of a short or wild table — the mapped open path (where the
+// reader count M differs from ntasks) trusts this table for every offset
+// it computes.
+func decodeMapping(buf []byte, ntasks, nfiles int) ([]FileLoc, error) {
+	if ntasks < 0 || len(buf) != 8*ntasks {
+		return nil, fmt.Errorf("%w: mapping table holds %d bytes for %d tasks", ErrCorrupt, len(buf), ntasks)
+	}
+	m := make([]FileLoc, ntasks)
+	for i := range m {
+		m[i] = FileLoc{
+			File:      int32(le().Uint32(buf[8*i:])),
+			LocalRank: int32(le().Uint32(buf[8*i+4:])),
+		}
+		if m[i].File < 0 || int(m[i].File) >= nfiles ||
+			m[i].LocalRank < 0 || int(m[i].LocalRank) >= ntasks {
+			return nil, fmt.Errorf("%w: mapping entry %d = %+v", ErrCorrupt, i, m[i])
+		}
+	}
+	return m, nil
 }
 
 // chunkHeader is the optional 64-byte self-describing header at the start

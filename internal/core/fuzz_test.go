@@ -145,6 +145,58 @@ func FuzzReadHeader(f *testing.F) {
 	})
 }
 
+// FuzzDecodeMapping feeds arbitrary bytes through the mapped-open metadata
+// parsers: the global placement table codec (decodeMapping, which the
+// mapped-open broadcast and the write-side mapping forwarding both trust
+// for every offset they compute) and the parser→reader rank-record decoder
+// (decodeMappedMeta). Truncated buffers, rank indices out of range, and
+// reader/task counts far apart (M≫N) must yield ErrCorrupt-style errors —
+// never a panic, and never a silently short or out-of-range table.
+func FuzzDecodeMapping(f *testing.F) {
+	valid := encodeMapping([]FileLoc{{0, 0}, {1, 0}, {0, 1}})
+	f.Add(valid, 3, 2)
+	f.Add(valid[:len(valid)-3], 3, 2)              // truncated mid-entry
+	f.Add(valid, 2, 2)                             // too many entries for ntasks
+	f.Add(valid, 4096, 2)                          // M≫N: far too few entries
+	f.Add(encodeMapping([]FileLoc{{5, 0}}), 1, 2)  // file index out of range
+	f.Add(encodeMapping([]FileLoc{{0, 9}}), 1, 2)  // local rank out of range
+	f.Add(encodeMapping([]FileLoc{{-1, 0}}), 1, 2) // negative file index
+	f.Add([]byte{}, 0, 1)
+	f.Add([]byte{}, -3, -1)
+
+	// Seeds for the rank-record decoder, fed from the same byte corpus.
+	f.Add(encodeInt64s([]int64{0, 0, 1, 2, 0, 100, 256, 1024, 256, 0, 1, 40}), 4, 0)
+	f.Add(encodeInt64s([]int64{0, 0, 1, 2, 0, 100, 256, 1024, 256, 3, 40}), 4, 0) // truncated blocks
+	f.Add(encodeInt64s([]int64{0, 0, 7}), 4, 0)                                   // records missing
+
+	f.Fuzz(func(t *testing.T, data []byte, ntasks, nfiles int) {
+		if m, err := decodeMapping(data, ntasks, nfiles); err == nil {
+			if len(m) != ntasks {
+				t.Fatalf("accepted mapping holds %d entries for %d tasks", len(m), ntasks)
+			}
+			for i, fl := range m {
+				if fl.File < 0 || int(fl.File) >= nfiles || fl.LocalRank < 0 || int(fl.LocalRank) >= ntasks {
+					t.Fatalf("accepted mapping entry %d = %+v outside %d files / %d tasks", i, fl, nfiles, ntasks)
+				}
+			}
+		}
+		if ntasks >= 0 && ntasks <= maxTasks {
+			if recs, err := decodeMappedMeta(decodeInt64s(data), ntasks, nfiles); err == nil {
+				for _, rec := range recs {
+					if rec.global < 0 || rec.global >= ntasks || rec.chunkSize <= 0 || rec.aligned <= 0 {
+						t.Fatalf("accepted implausible mapped metadata record %+v", rec)
+					}
+					for _, b := range rec.blockBytes {
+						if b < 0 || b > rec.aligned {
+							t.Fatalf("accepted block bytes %d beyond chunk %d", b, rec.aligned)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
 // FuzzOpen feeds corrupted multifiles through the full serial open path
 // used by siondump and the other utilities: Open, Locations, Dump,
 // Verify, and OpenRank must all return errors instead of panicking.

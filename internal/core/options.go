@@ -76,7 +76,9 @@ type Options struct {
 	// read mode, the collector issues one large read per member chunk
 	// region and scatters the data, so at most ⌈ntasks/group⌉ tasks of a
 	// physical file open it or issue read requests. Members never open the
-	// physical file at all.
+	// physical file at all. ParOpenMapped honors the option the same way,
+	// grouping consecutive reader ranks: its collectors fetch one dense
+	// span per (file, block) covering the group's owned chunk runs.
 	//
 	// Memory: collective read prefetches each task's complete logical
 	// stream into host memory at open (and the collector transiently
@@ -133,7 +135,8 @@ type Options struct {
 	// frames that already coalesce at the collector, and collective reads
 	// prefetch whole streams at open. Handles opened without options
 	// (OpenRank, the serial Open) can enable staging afterwards with
-	// SetBufferSize.
+	// SetBufferSize. A direct-mode ParOpenMapped arms one read-ahead
+	// stage per owned rank handle.
 	BufferSize int64
 }
 

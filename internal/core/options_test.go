@@ -1,0 +1,108 @@
+package sion
+
+import "testing"
+
+// TestMapFuncEdgeCases pins the task→file mapping functions on the shapes
+// that historically break integer-division layouts: task counts not
+// divisible by the file count, a single task, and nfiles == ntasks.
+func TestMapFuncEdgeCases(t *testing.T) {
+	cases := []struct {
+		name           string
+		ntasks, nfiles int
+	}{
+		{"single-task", 1, 1},
+		{"indivisible", 10, 3},
+		{"indivisible-large", 1000, 7},
+		{"nfiles-equals-ntasks", 8, 8},
+		{"two-to-one", 8, 4},
+		{"prime-tasks", 13, 4},
+	}
+	maps := []struct {
+		name string
+		fn   MapFunc
+	}{{"contig", ContiguousMap}, {"rr", RoundRobinMap}}
+	for _, m := range maps {
+		for _, tc := range cases {
+			t.Run(m.name+"/"+tc.name, func(t *testing.T) {
+				counts := make([]int, tc.nfiles)
+				prev := 0
+				for g := 0; g < tc.ntasks; g++ {
+					fn := m.fn(g, tc.ntasks, tc.nfiles)
+					if fn < 0 || fn >= tc.nfiles {
+						t.Fatalf("task %d mapped to file %d of %d", g, fn, tc.nfiles)
+					}
+					counts[fn]++
+					if m.name == "contig" && fn < prev {
+						t.Fatalf("ContiguousMap not monotonic: task %d file %d after file %d", g, fn, prev)
+					}
+					prev = fn
+				}
+				// Balance: with ntasks ≥ nfiles every file holds ⌊N/F⌋ or
+				// ⌈N/F⌉ tasks — a file with zero tasks would make Create and
+				// ParOpen produce an unreadable segment.
+				lo, hi := tc.ntasks/tc.nfiles, (tc.ntasks+tc.nfiles-1)/tc.nfiles
+				for k, c := range counts {
+					if c < lo || c > hi {
+						t.Errorf("file %d holds %d tasks, want %d..%d", k, c, lo, hi)
+					}
+				}
+			})
+		}
+	}
+	// nfiles == ntasks must be a bijection for both mappings.
+	for _, m := range maps {
+		seen := make(map[int]bool)
+		for g := 0; g < 8; g++ {
+			fn := m.fn(g, 8, 8)
+			if seen[fn] {
+				t.Errorf("%s: nfiles==ntasks maps two tasks to file %d", m.name, fn)
+			}
+			seen[fn] = true
+		}
+	}
+}
+
+// TestWithDefaultsClamping pins the Options normalization: nfiles is
+// clamped to the task count, the default mapping and file count are
+// installed, and invalid combinations are rejected.
+func TestWithDefaultsClamping(t *testing.T) {
+	cases := []struct {
+		name       string
+		opts       *Options
+		ntasks     int
+		wantNFiles int
+		wantErr    bool
+	}{
+		{"nil-options", nil, 4, 1, false},
+		{"default-nfiles", &Options{ChunkSize: 64}, 4, 1, false},
+		{"nfiles-exceeds-ntasks", &Options{NFiles: 9}, 4, 4, false},
+		{"nfiles-exceeds-single-task", &Options{NFiles: 5}, 1, 1, false},
+		{"nfiles-kept", &Options{NFiles: 3}, 7, 3, false},
+		{"negative-maxchunks", &Options{MaxChunks: -1}, 4, 0, true},
+		{"collector-below-auto", &Options{CollectorGroup: -2}, 4, 0, true},
+		{"collector-with-chunk-headers", &Options{CollectorGroup: 2, ChunkHeaders: true}, 4, 0, true},
+		{"async-without-collector", &Options{AsyncCollective: true}, 4, 0, true},
+		{"negative-flush", &Options{CollectorGroup: 2, AsyncCollective: true, AsyncFlushBytes: -1}, 4, 0, true},
+		{"buffer-below-auto", &Options{BufferSize: -2}, 4, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := tc.opts.withDefaults(tc.ntasks)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("invalid options accepted")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.NFiles != tc.wantNFiles {
+				t.Errorf("NFiles = %d, want %d", out.NFiles, tc.wantNFiles)
+			}
+			if out.Mapping == nil {
+				t.Error("default mapping not installed")
+			}
+		})
+	}
+}

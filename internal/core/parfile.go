@@ -64,6 +64,11 @@ type File struct {
 	wstage     *writeStage
 	rstage     *readStage
 	stagingOff bool
+
+	// fhShared marks a rank handle whose fh belongs to a container (a
+	// MappedFile or a read-mode SerialFile) that shares one open physical
+	// file among several rank views; Close then leaves fh to the container.
+	fhShared bool
 }
 
 var (
@@ -135,8 +140,9 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 		comm.Send(file0Master, tagMapping, encodeMapping(mapping))
 		mapping = nil
 	}
+	var mapErr error
 	if isFile0Master && comm.Rank() != 0 {
-		mapping = decodeMapping(comm.Recv(0, tagMapping))
+		mapping, mapErr = decodeMapping(comm.Recv(0, tagMapping), comm.Size(), o.NFiles)
 	}
 
 	// Local master gathers requested chunk sizes (paper §3.1: "all tasks
@@ -156,6 +162,9 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 	physName := fileName(name, filenum)
 	var geos [][]int64
 	status := int64(0)
+	if mapErr != nil {
+		status = 4 // forwarded mapping failed validation at file 0's master
+	}
 	if f.local == 0 {
 		h := &header{
 			FSBlockSize:  fsblk,
@@ -269,26 +278,6 @@ func resolveCollectorGroup(opt, ntasksLocal int, stride, fsblk int64) int {
 // views, and the write-mode master (local rank 0) is entry 0 of the full
 // table it keeps for writing metablock 2.
 const geoIndex = 0
-
-func encodeMapping(m []FileLoc) []byte {
-	buf := make([]byte, 8*len(m))
-	for i, fl := range m {
-		le().PutUint32(buf[8*i:], uint32(fl.File))
-		le().PutUint32(buf[8*i+4:], uint32(fl.LocalRank))
-	}
-	return buf
-}
-
-func decodeMapping(buf []byte) []FileLoc {
-	m := make([]FileLoc, len(buf)/8)
-	for i := range m {
-		m[i] = FileLoc{
-			File:      int32(le().Uint32(buf[8*i:])),
-			LocalRank: int32(le().Uint32(buf[8*i+4:])),
-		}
-	}
-	return m
-}
 
 func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Options) (*File, error) {
 	o, err := opts.withDefaults(comm.Size())
@@ -769,7 +758,10 @@ func (f *File) Close() error {
 		}
 	}
 	f.dropStaging()
-	if f.lcomm == nil { // serial OpenRank handle
+	if f.lcomm == nil { // serial OpenRank or mapped rank handle
+		if f.fhShared {
+			return firstErr // the owning container closes the physical file
+		}
 		return closeKeep(f.fh, firstErr)
 	}
 	if f.mode == WriteMode {

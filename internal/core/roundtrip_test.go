@@ -34,7 +34,12 @@ func bufSizeChoices(rng *rand.Rand) int64 {
 // paths must produce byte-identical multifiles (with Flush interleaved
 // into the buffered writes), and direct, buffered (with Seek
 // interleaving), and collective reads must return exactly the written
-// payloads (sequentially and via ReadLogicalAt).
+// payloads (sequentially and via ReadLogicalAt). A final mapped-reopen
+// phase rescales the reader side: a random M ≠ N (including M = 1 and
+// M > N) reopens the multifile through ParOpenMapped — balanced or with a
+// random explicit partition, direct or collective, with random read
+// buffering — and every writer rank's bytes must be recovered exactly
+// once across the M readers, Seek interleaving included.
 func TestPropertyRoundTripModes(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260730))
 	maps := []struct {
@@ -184,7 +189,8 @@ func TestPropertyRoundTripModes(t *testing.T) {
 					}
 					// Seek interleaving: hop the cursor to random recorded
 					// positions and re-read sequentially from there; the
-					// read-ahead cache must stay coherent across hops.
+					// read-ahead cache must stay coherent across hops. (The
+					// same hops run below on the mapped rank handles.)
 					for p := 0; p < 3 && len(payload) > 0; p++ {
 						loff := prng.Intn(len(payload))
 						block, pos, rest := 0, int64(loff), int64(0)
@@ -213,6 +219,116 @@ func TestPropertyRoundTripModes(t *testing.T) {
 						}
 					}
 				})
+			}
+
+			// Mapped reopen with a rescaled reader count M ≠ N.
+			mOpts := []int{1, n / 2, n - 1, n, n + 1, 2*n + 3}
+			M := mOpts[rng.Intn(len(mOpts))]
+			if M < 1 {
+				M = 1
+			}
+			explicit := rng.Intn(2) == 0
+			var pieces [][]int
+			if explicit {
+				// Random partition: every rank assigned to a random reader
+				// (non-contiguous sets, empty sets allowed).
+				pieces = make([][]int, M)
+				for _, g := range rng.Perm(n) {
+					r := rng.Intn(M)
+					pieces[r] = append(pieces[r], g)
+				}
+			}
+			mGroup := 0
+			if rng.Intn(2) == 0 {
+				mGroup = 2 + rng.Intn(4)
+			}
+			mBuf := bufSizeChoices(rng)
+			recovered := make([][]byte, n) // disjoint ownership: one writer per slot
+			ownerOf := make([]int, n)
+			for g := range ownerOf {
+				ownerOf[g] = -1
+			}
+			mpi.Run(M, func(c *mpi.Comm) {
+				var ropts *Options
+				if mGroup != 0 {
+					ropts = &Options{CollectorGroup: mGroup}
+				} else if mBuf != 0 {
+					ropts = &Options{BufferSize: mBuf}
+				}
+				owned := []int(nil)
+				if explicit {
+					owned = pieces[c.Rank()]
+					if owned == nil {
+						owned = []int{}
+					}
+				}
+				mf, err := ParOpenMapped(c, fsys, "async.sion", ReadMode, owned, ropts)
+				if err != nil {
+					t.Errorf("reader %d/%d: %v", c.Rank(), M, err)
+					return
+				}
+				defer mf.Close()
+				if mf.NTasks() != n {
+					t.Errorf("mapped NTasks = %d, want %d", mf.NTasks(), n)
+				}
+				prng := rand.New(rand.NewSource(int64(9000*iter + c.Rank())))
+				for _, g := range mf.OwnedRanks() {
+					h, err := mf.Rank(g)
+					if err != nil {
+						t.Error(err)
+						continue
+					}
+					payload := rankPayload(g, sizes[g])
+					got := make([]byte, len(payload))
+					if len(got) > 0 {
+						if _, err := io.ReadFull(h, got); err != nil {
+							t.Errorf("reader %d rank %d: %v", c.Rank(), g, err)
+							continue
+						}
+					}
+					recovered[g] = got
+					ownerOf[g] = c.Rank()
+					if !h.EOF() {
+						t.Errorf("reader %d rank %d: EOF not reached", c.Rank(), g)
+					}
+					// Seek interleaving on the mapped handle.
+					for p := 0; p < 2 && len(payload) > 0; p++ {
+						loff := prng.Intn(len(payload))
+						block, pos, rest := 0, int64(loff), int64(0)
+						for b := 0; b < h.Blocks(); b++ {
+							if err := h.Seek(b, 0); err != nil {
+								t.Errorf("reader %d rank %d: Seek(%d,0): %v", c.Rank(), g, b, err)
+								return
+							}
+							if avail := h.BytesAvailInChunk(); pos < avail {
+								block, rest = b, avail-pos
+								break
+							} else {
+								pos -= avail
+							}
+						}
+						if err := h.Seek(block, pos); err != nil {
+							t.Errorf("reader %d rank %d: Seek(%d,%d): %v", c.Rank(), g, block, pos, err)
+							return
+						}
+						ln := 1 + prng.Intn(int(rest))
+						span := make([]byte, ln)
+						if _, err := io.ReadFull(h, span); err != nil {
+							t.Errorf("reader %d rank %d: post-Seek read: %v", c.Rank(), g, err)
+						} else if !bytes.Equal(span, payload[loff:loff+ln]) {
+							t.Errorf("reader %d rank %d: post-Seek mismatch at %d+%d", c.Rank(), g, loff, ln)
+						}
+					}
+				}
+			})
+			for g := 0; g < n; g++ {
+				if ownerOf[g] < 0 {
+					t.Errorf("mapped reopen (M=%d explicit=%v): rank %d recovered by no reader", M, explicit, g)
+					continue
+				}
+				if !bytes.Equal(recovered[g], rankPayload(g, sizes[g])) {
+					t.Errorf("mapped reopen (M=%d explicit=%v): rank %d bytes differ", M, explicit, g)
+				}
 			}
 		})
 	}

@@ -32,10 +32,15 @@ type SerialFile struct {
 	// Write mode: per global rank, per block: high-water byte counts.
 	written [][]int64
 
-	// Buffered staging (see buffer.go): write-behind for the cursor's
-	// contiguous run, read-ahead for the cursor's chunk; nil = unbuffered.
+	// Write mode: write-behind staging for the cursor's contiguous run
+	// (see buffer.go); nil = unbuffered.
 	wstage *serialWriteStage
-	rstage *serialReadStage
+
+	// Read mode: the M=1 mapped view — one read handle per task, sharing
+	// one open file per segment (see mapped.go). The cursor operations
+	// delegate to these handles, which also carry the per-rank read-ahead
+	// stages.
+	handles map[int]*File
 }
 
 // physFile is one physical file of the multifile in serial view.
@@ -135,119 +140,41 @@ func Create(fsys fsio.FileSystem, name string, chunkSizes []int64, opts *Options
 }
 
 // Open opens a multifile for serial reading with the global view
-// (paper Listing 5).
+// (paper Listing 5). It is the M=1 special case of mapped open
+// (see mapped.go): one reader owning every task's logical file.
 func Open(fsys fsio.FileSystem, name string) (*SerialFile, error) {
-	fh0, err := fsys.Open(fileName(name, 0))
+	ml, err := openMappedLocal(fsys, name, nil)
 	if err != nil {
-		return nil, fmt.Errorf("sion: Open %s: %w", name, err)
-	}
-	h0, err := parseHeader(fh0)
-	if err != nil {
-		fh0.Close()
 		return nil, fmt.Errorf("sion: Open %s: %w", name, err)
 	}
 	sf := &SerialFile{
 		fsys: fsys, name: name, mode: ReadMode,
-		ntasks: int(h0.NTasksGlobal), nfiles: int(h0.NFiles),
-		fsblk: h0.FSBlockSize, flags: h0.Flags,
-		mapping: h0.Mapping,
-		files:   make([]*physFile, h0.NFiles),
+		ntasks: ml.ntasks, nfiles: ml.nfiles,
+		fsblk: ml.fsblk, flags: ml.flags,
+		mapping: ml.mapping,
+		files:   make([]*physFile, ml.nfiles),
+		handles: ml.handles,
 		curRank: -1,
 	}
 	for k := range sf.files {
-		var fh fsio.File
-		var h *header
-		if k == 0 {
-			fh, h = fh0, h0
-		} else {
-			if fh, err = fsys.Open(fileName(name, k)); err != nil {
-				sf.abort()
-				return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
-			}
-			if h, err = parseHeader(fh); err != nil {
-				fh.Close()
-				sf.abort()
-				return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
-			}
-		}
-		m2, err := readTail(fh, int(h.NTasksLocal))
-		if err != nil {
-			fh.Close()
-			sf.abort()
-			return nil, fmt.Errorf("sion: Open %s: segment %d: %w", name, k, err)
-		}
-		sf.files[k] = &physFile{fh: fh, h: h, geo: newGeometry(h), m2: m2}
-	}
-	// The mapping was bounds-checked against file 0's header alone; verify
-	// every entry against the segment it actually points into, so a
-	// corrupt multifile cannot index outside a segment's task tables.
-	for r, loc := range sf.mapping {
-		if int(loc.LocalRank) >= int(sf.files[loc.File].h.NTasksLocal) {
-			sf.abort()
-			return nil, fmt.Errorf("sion: Open %s: %w: task %d maps to local rank %d of segment %d (%d tasks)",
-				name, ErrCorrupt, r, loc.LocalRank, loc.File, sf.files[loc.File].h.NTasksLocal)
-		}
+		sf.files[k] = ml.segs[k]
 	}
 	return sf, nil
 }
 
 // OpenRank opens the logical file of one task for serial reading
-// (sion_open_rank, paper Listing 4). It loads only the metadata of the
-// physical file containing that task.
+// (sion_open_rank, paper Listing 4): the mapped view of a single owned
+// rank. It loads only the metadata of the physical file containing that
+// task (plus the mapping from segment 0).
 func OpenRank(fsys fsio.FileSystem, name string, rank int) (*File, error) {
-	fh0, err := fsys.Open(fileName(name, 0))
+	ml, err := openMappedLocal(fsys, name, []int{rank})
 	if err != nil {
 		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
 	}
-	h0, err := parseHeader(fh0)
-	if err != nil {
-		fh0.Close()
-		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
-	}
-	if rank < 0 || rank >= int(h0.NTasksGlobal) {
-		fh0.Close()
-		return nil, fmt.Errorf("sion: OpenRank %s: rank %d outside 0..%d", name, rank, h0.NTasksGlobal-1)
-	}
-	loc := h0.Mapping[rank]
-
-	fh, h := fh0, h0
-	if loc.File != 0 {
-		fh0.Close()
-		if fh, err = fsys.Open(fileName(name, int(loc.File))); err != nil {
-			return nil, fmt.Errorf("sion: OpenRank %s: segment %d: %w", name, loc.File, err)
-		}
-		if h, err = parseHeader(fh); err != nil {
-			fh.Close()
-			return nil, fmt.Errorf("sion: OpenRank %s: segment %d: %w", name, loc.File, err)
-		}
-	}
-	if int(loc.LocalRank) >= int(h.NTasksLocal) {
-		fh.Close()
-		return nil, fmt.Errorf("sion: OpenRank %s: %w: rank %d maps to local rank %d of segment %d (%d tasks)",
-			name, ErrCorrupt, rank, loc.LocalRank, loc.File, h.NTasksLocal)
-	}
-	m2, err := readTail(fh, int(h.NTasksLocal))
-	if err != nil {
-		fh.Close()
-		return nil, fmt.Errorf("sion: OpenRank %s: %w", name, err)
-	}
-	g := newGeometry(h)
-	li := int(loc.LocalRank)
-	f := &File{
-		fsys: fsys, fh: fh, name: name, mode: ReadMode,
-		local: li, global: rank,
-		filenum: int(loc.File), nfiles: int(h.NFiles), fsblk: h.FSBlockSize,
-		requested: h.ChunkSizes[li], chunkHdrs: h.Flags&flagChunkHeaders != 0,
-		geo: geometry{
-			fsblk:   h.FSBlockSize,
-			start:   g.start,
-			stride:  g.stride,
-			aligned: []int64{g.aligned[li]},
-			prefix:  []int64{g.prefix[li]},
-			headers: g.headers,
-		},
-		readBytes: append([]int64(nil), m2.BlockBytes[li]...),
-	}
+	// The single handle takes over its segment's file; no container stays
+	// behind to close it.
+	f := ml.handles[rank]
+	f.fhShared = false
 	return f, nil
 }
 
@@ -308,14 +235,10 @@ func (sf *SerialFile) RankBytes(rank int) int64 {
 	if rank < 0 || rank >= sf.ntasks {
 		return 0
 	}
-	var total int64
 	if sf.mode == ReadMode {
-		pf := sf.files[sf.mapping[rank].File]
-		for _, b := range pf.m2.BlockBytes[sf.mapping[rank].LocalRank] {
-			total += b
-		}
-		return total
+		return sf.handles[rank].LogicalSize()
 	}
+	var total int64
 	for _, b := range sf.written[rank] {
 		total += b
 	}
@@ -334,20 +257,27 @@ func (sf *SerialFile) Seek(rank, block int, pos int64) error {
 	if rank < 0 || rank >= sf.ntasks || block < 0 || pos < 0 {
 		return fmt.Errorf("sion: %s: Seek(%d,%d,%d) out of range", sf.name, rank, block, pos)
 	}
+	if sf.mode == ReadMode {
+		// Delegate to the rank's mapped handle, which validates the
+		// position against its recorded data and keeps its own cursor.
+		// Leaving a rank releases its read-ahead buffer, so a scan over
+		// many tasks holds at most one staging buffer at a time.
+		if err := sf.handles[rank].Seek(block, pos); err != nil {
+			return err
+		}
+		if sf.curRank >= 0 && sf.curRank != rank {
+			sf.handles[sf.curRank].releaseStage()
+		}
+		sf.curRank = rank
+		return nil
+	}
 	pf := sf.files[sf.mapping[rank].File]
 	li := int(sf.mapping[rank].LocalRank)
 	cap := pf.geo.capacity(li)
 	if pos > cap {
 		return fmt.Errorf("sion: %s: Seek pos %d beyond chunk capacity %d", sf.name, pos, cap)
 	}
-	if sf.mode == ReadMode {
-		bb := pf.m2.BlockBytes[li]
-		if block >= len(bb) || pos > bb[block] {
-			return fmt.Errorf("sion: %s: Seek(%d,%d,%d) outside recorded data", sf.name, rank, block, pos)
-		}
-	}
-	// A moved cursor ends the write stage's contiguous run; the read-ahead
-	// cache stays valid (read-mode data is immutable), so only writes flush.
+	// A moved cursor ends the write stage's contiguous run.
 	if err := sf.stageFlush(); err != nil {
 		return err
 	}
@@ -410,6 +340,8 @@ func (sf *SerialFile) noteWritten(rank, block int, bytes int64) {
 
 // Read fills p from the cursor, spanning blocks of the current task, and
 // advances the cursor. It returns io.EOF at the end of the task's data.
+// The read itself is served by the task's mapped rank handle (including
+// its read-ahead stage, when one is armed via SetBufferSize).
 func (sf *SerialFile) Read(p []byte) (int, error) {
 	if sf.closed || sf.mode != ReadMode {
 		return 0, fmt.Errorf("sion: %s: serial read on %s handle", sf.name, sf.mode)
@@ -417,41 +349,7 @@ func (sf *SerialFile) Read(p []byte) (int, error) {
 	if sf.curRank < 0 {
 		return 0, fmt.Errorf("sion: %s: Read before Seek", sf.name)
 	}
-	pf, li := sf.cursorFile()
-	bb := pf.m2.BlockBytes[li]
-	total := 0
-	for len(p) > 0 {
-		if sf.curBlock >= len(bb) {
-			break
-		}
-		avail := bb[sf.curBlock] - sf.curPos
-		if avail == 0 {
-			sf.curBlock++
-			sf.curPos = 0
-			continue
-		}
-		r := int64(len(p))
-		if r > avail {
-			r = avail
-		}
-		if sf.rstage != nil {
-			if err := sf.stagedReadAt(p[:r], pf, li, sf.curRank, sf.curBlock, sf.curPos); err != nil {
-				return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
-			}
-		} else {
-			off := pf.geo.dataOff(li, sf.curBlock) + sf.curPos
-			if _, err := pf.fh.ReadAt(p[:r], off); err != nil && err != io.EOF {
-				return total, fmt.Errorf("sion: %s: serial read: %w", sf.name, err)
-			}
-		}
-		sf.curPos += r
-		total += int(r)
-		p = p[r:]
-	}
-	if total == 0 && len(p) > 0 {
-		return 0, io.EOF
-	}
-	return total, nil
+	return sf.handles[sf.curRank].Read(p)
 }
 
 // ReadRank returns the complete logical file of one task (concatenation of
@@ -482,9 +380,9 @@ func (sf *SerialFile) Close() error {
 		putStageBuf(sf.wstage.buf)
 		sf.wstage = nil
 	}
-	if sf.rstage != nil {
-		putStageBuf(sf.rstage.data)
-		sf.rstage = nil
+	for _, h := range sf.handles {
+		h.closed = true
+		h.dropStaging() // releases any per-rank read-ahead stages
 	}
 	if sf.mode == WriteMode {
 		for k, pf := range sf.files {

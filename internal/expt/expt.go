@@ -140,6 +140,7 @@ func All(scale int) []*Result {
 		Table2(scale),
 		Table3(scale),
 		Table4(scale),
+		Table5(scale),
 	}
 }
 
@@ -168,11 +169,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table3
 	case "tab4", "table4":
 		return Table4
+	case "tab5", "table5":
+		return Table5
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5"}
 }
