@@ -145,3 +145,13 @@ func BenchmarkTable5MappedReopen(b *testing.B) {
 		return lastFloat(r.Rows[last-1], 4) / lastFloat(r.Rows[last], 4), "read-request-reduction"
 	})
 }
+
+// BenchmarkTable6Serve regenerates the read-serving table; the metric is
+// the uncached/served backend read-request ratio of the big-cache row —
+// how many backend requests the serving subsystem (sharded block cache +
+// coalesced span fetches) saves on the zipfian client workload.
+func BenchmarkTable6Serve(b *testing.B) {
+	benchExperiment(b, "tab6", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[0], 4) / lastFloat(r.Rows[1], 4), "backend-read-reduction"
+	})
+}

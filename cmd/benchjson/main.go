@@ -7,7 +7,17 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench . -benchtime 1x . | benchjson -o BENCH_PR2.json
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -o BENCH_PR4.json
+//	go test -run '^$' -bench . -benchtime 1x . | benchjson -baseline BENCH_PR4.json -o BENCH_CI.json
+//
+// With -baseline, benchjson compares the current run against the
+// committed baseline and exits non-zero when any deterministic metric
+// regresses by more than -tolerance (default 25%): time-like metrics must
+// not grow past baseline×(1+tol), rate/ratio metrics where higher is
+// better must not shrink below baseline×(1−tol). Machine-dependent
+// metrics (ns/op, B/op, allocs/op, MB/s) are recorded but never gated. A
+// benchmark present in the baseline but missing from the run also fails
+// (silent coverage loss); new benchmarks are reported and pass.
 //
 // Lines that are not benchmark results are ignored, so the raw `go test`
 // stream can be piped in directly.
@@ -37,6 +47,8 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baseline := flag.String("baseline", "", "committed baseline JSON to gate against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed relative regression before failing")
 	flag.Parse()
 
 	doc := Doc{Benchmarks: []Benchmark{}}
@@ -59,12 +71,94 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "" {
 		os.Stdout.Write(enc)
-		return
-	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+
+	if *baseline == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var base Doc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *baseline, err)
+		os.Exit(1)
+	}
+	regressions := compare(&base, &doc, *tolerance)
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "benchjson: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% vs %s\n",
+			len(regressions), *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: no regressions beyond %.0f%% vs %s\n", *tolerance*100, *baseline)
+}
+
+// skipUnits are machine-dependent metrics never gated on: wall-clock and
+// allocator noise varies across runners, while the sim-* metrics and the
+// derived ratios are deterministic.
+var skipUnits = map[string]bool{
+	"ns/op":     true,
+	"B/op":      true,
+	"allocs/op": true,
+	"MB/s":      true,
+}
+
+// higherBetter classifies a metric's direction: throughputs, speedups,
+// and reduction factors improve upward; times, request counts, and
+// degradation ratios improve downward.
+func higherBetter(unit string) bool {
+	switch {
+	case strings.HasSuffix(unit, "MB/s"),
+		strings.HasSuffix(unit, "speedup"),
+		strings.HasSuffix(unit, "reduction"):
+		return true
+	}
+	return false
+}
+
+// compare returns one message per metric of base that cur misses or
+// regresses on beyond tol.
+func compare(base, cur *Doc, tol float64) []string {
+	current := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		current[b.Name] = b
+	}
+	var out []string
+	for _, bb := range base.Benchmarks {
+		cb, ok := current[bb.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: present in baseline, missing from this run", bb.Name))
+			continue
+		}
+		for unit, bv := range bb.Metrics {
+			if skipUnits[unit] || bv == 0 {
+				continue
+			}
+			cv, ok := cb.Metrics[unit]
+			if !ok {
+				out = append(out, fmt.Sprintf("%s: metric %q missing from this run", bb.Name, unit))
+				continue
+			}
+			if higherBetter(unit) {
+				if cv < bv*(1-tol) {
+					out = append(out, fmt.Sprintf("%s: %s fell %.4g -> %.4g (-%.0f%%)",
+						bb.Name, unit, bv, cv, 100*(1-cv/bv)))
+				}
+			} else if cv > bv*(1+tol) {
+				out = append(out, fmt.Sprintf("%s: %s grew %.4g -> %.4g (+%.0f%%)",
+					bb.Name, unit, bv, cv, 100*(cv/bv-1)))
+			}
+		}
+	}
+	return out
 }
 
 // parseLine parses one `BenchmarkX-8   1   123 ns/op   4.5 unit` line.

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareDirections(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"sim-create-s": 10, "ns/op": 5e6}),
+		bench("BenchmarkB", map[string]float64{"sim-MB/s": 100}),
+		bench("BenchmarkC", map[string]float64{"backend-read-reduction": 30}),
+	}}
+	tol := 0.25
+
+	// Identical run: clean.
+	if regs := compare(base, base, tol); len(regs) != 0 {
+		t.Fatalf("identical run flagged: %v", regs)
+	}
+
+	// Lower-better metric grows beyond tolerance; higher-better metrics
+	// shrink beyond tolerance; ns/op explodes but is never gated.
+	cur := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"sim-create-s": 13, "ns/op": 5e9}),
+		bench("BenchmarkB", map[string]float64{"sim-MB/s": 70}),
+		bench("BenchmarkC", map[string]float64{"backend-read-reduction": 20}),
+	}}
+	regs := compare(base, cur, tol)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions, got %d: %v", len(regs), regs)
+	}
+	for _, want := range []string{"sim-create-s", "sim-MB/s", "backend-read-reduction"} {
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no regression mentions %s: %v", want, regs)
+		}
+	}
+
+	// Within tolerance: clean.
+	cur = &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"sim-create-s": 12, "ns/op": 1}),
+		bench("BenchmarkB", map[string]float64{"sim-MB/s": 80}),
+		bench("BenchmarkC", map[string]float64{"backend-read-reduction": 24}),
+	}}
+	if regs := compare(base, cur, tol); len(regs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{bench("BenchmarkGone", map[string]float64{"sim-create-s": 1})}}
+	cur := &Doc{Benchmarks: []Benchmark{bench("BenchmarkNew", map[string]float64{"sim-create-s": 1})}}
+	regs := compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing from this run") {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+	// New benchmarks in cur never fail.
+	if regs := compare(cur, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("self-compare flagged: %v", regs)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkTable6Serve-8 \t 1\t164403305 ns/op\t35.68 backend-read-reduction")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkTable6Serve" {
+		t.Fatalf("name %q kept its GOMAXPROCS suffix", b.Name)
+	}
+	if b.Metrics["backend-read-reduction"] != 35.68 || b.Metrics["ns/op"] != 164403305 {
+		t.Fatalf("metrics wrong: %v", b.Metrics)
+	}
+	if _, ok := parseLine("ok  \trepro\t0.2s"); ok {
+		t.Fatal("non-benchmark line accepted")
+	}
+	if _, ok := parseLine("BenchmarkBroken 1"); ok {
+		t.Fatal("short line accepted")
+	}
+}
+
+func TestHigherBetter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"sim-MB/s":               true,
+		"write-speedup":          true,
+		"activation-speedup":     true,
+		"read-request-reduction": true,
+		"backend-read-reduction": true,
+		"sim-create-s":           false,
+		"align-ratio":            false,
+	} {
+		if got := higherBetter(unit); got != want {
+			t.Errorf("higherBetter(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}

@@ -2,10 +2,19 @@
 // §3.3 "dump" utility): global layout, per-segment geometry, and the
 // per-task chunk table.
 //
-// Usage: siondump <multifile>
+// Usage:
+//
+//	siondump [-mapping] <multifile>
+//
+// With -mapping it prints only the global rank→(physical file, local
+// rank) mapping table decoded from file 0's header — this needs no other
+// segment to be present or intact, so it also works on partially damaged
+// multifiles where the full dump (which parses every segment's metablock
+// 2) fails.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,11 +23,17 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: siondump <multifile>")
+	mapping := flag.Bool("mapping", false, "print only the rank→file mapping table from file 0's header")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: siondump [-mapping] <multifile>")
 		os.Exit(2)
 	}
-	if err := sion.Dump(fsio.NewOS(""), os.Args[1], os.Stdout); err != nil {
+	dump := sion.Dump
+	if *mapping {
+		dump = sion.DumpMapping
+	}
+	if err := dump(fsio.NewOS(""), flag.Arg(0), os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "siondump:", err)
 		os.Exit(1)
 	}

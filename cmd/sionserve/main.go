@@ -1,0 +1,200 @@
+// Command sionserve exposes a multifile over HTTP through the read-serving
+// subsystem (internal/serve): one process fronts the multifile for any
+// number of remote clients, with a sharded block cache and coalesced
+// backend reads between them and the file system.
+//
+// Usage:
+//
+//	sionserve [-addr :8080] [-cache-mb 64] [-block N] <multifile>
+//
+// Endpoints:
+//
+//	GET /ranks                  JSON layout summary (tasks, files, sizes)
+//	GET /rank/<r>               the rank's whole logical stream
+//	GET /rank/<r>?off=O&n=N     N bytes from logical offset O
+//	GET /rank/<r>/keys          JSON list of the rank's record keys
+//	GET /rank/<r>/key/<k>       concatenated payload of key k's records
+//	GET /stats                  JSON cache/backend counters
+//
+// The multifile must be complete (written and closed); serving a file
+// still being written is out of scope for the cache's consistency model.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/serve"
+)
+
+type server struct {
+	srv *serve.Server
+
+	mu   sync.Mutex
+	keys map[int]*sion.KeyReader // lazily built per rank, shared by clients
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheMB := flag.Int64("cache-mb", 64, "block cache budget in MiB")
+	block := flag.Int64("block", 0, "cache block size in bytes (0 = the multifile's FS block size)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] <multifile>")
+		os.Exit(2)
+	}
+	srv, err := serve.New(fsio.NewOS(""), flag.Arg(0), &serve.Config{
+		CacheBytes: *cacheMB << 20,
+		BlockBytes: *block,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sionserve:", err)
+		os.Exit(1)
+	}
+	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ranks", s.handleRanks)
+	mux.HandleFunc("/rank/", s.handleRank)
+	mux.HandleFunc("/stats", s.handleStats)
+	fmt.Printf("sionserve: serving %s (%d ranks, %d physical files) on %s\n",
+		flag.Arg(0), srv.Layout().NTasks(), srv.Layout().NumFiles(), *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "sionserve:", err)
+		os.Exit(1)
+	}
+}
+
+func (s *server) handleRanks(w http.ResponseWriter, _ *http.Request) {
+	l := s.srv.Layout()
+	type rankInfo struct {
+		Rank  int   `json:"rank"`
+		File  int   `json:"file"`
+		Bytes int64 `json:"bytes"`
+	}
+	out := struct {
+		Name  string     `json:"name"`
+		Tasks int        `json:"tasks"`
+		Files int        `json:"files"`
+		FSBlk int64      `json:"fs_block_size"`
+		Ranks []rankInfo `json:"ranks"`
+	}{Name: l.Name(), Tasks: l.NTasks(), Files: l.NumFiles(), FSBlk: l.FSBlockSize()}
+	for g, loc := range l.Mapping() {
+		out.Ranks = append(out.Ranks, rankInfo{Rank: g, File: int(loc.File), Bytes: l.RankSize(g)})
+	}
+	writeJSON(w, out)
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.srv.Stats())
+}
+
+// handleRank routes /rank/<r>, /rank/<r>/keys, and /rank/<r>/key/<k>.
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/rank/"), "/")
+	rank, err := strconv.Atoi(parts[0])
+	if err != nil {
+		http.Error(w, "bad rank", http.StatusBadRequest)
+		return
+	}
+	h, err := s.srv.Open(rank)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		s.serveBytes(w, r, h)
+	case len(parts) == 2 && parts[1] == "keys":
+		kr, err := s.keyReader(rank, h)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, kr.Keys())
+	case len(parts) == 3 && parts[1] == "key":
+		key, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			http.Error(w, "bad key", http.StatusBadRequest)
+			return
+		}
+		kr, err := s.keyReader(rank, h)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		data, err := kr.ReadKey(key)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveBytes answers /rank/<r> with the whole stream or the ?off=&n=
+// window.
+func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Handle) {
+	off, n := int64(0), h.LogicalSize()
+	q := r.URL.Query()
+	if v := q.Get("off"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || parsed < 0 || parsed > h.LogicalSize() {
+			http.Error(w, "off is not an offset inside the logical stream", http.StatusBadRequest)
+			return
+		}
+		off = parsed
+		n = h.LogicalSize() - off
+	}
+	if v := q.Get("n"); v != "" {
+		want, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || want < 0 {
+			http.Error(w, "n is not a byte count", http.StatusBadRequest)
+			return
+		}
+		if want < n {
+			n = want
+		}
+	}
+	buf := make([]byte, n)
+	if _, err := h.ReadLogicalAt(buf, off); err != nil && n > 0 {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(buf)
+}
+
+// keyReader returns the rank's shared key index, building it on first use
+// (the scan runs through the block cache, so later ranks and clients
+// reuse its backend reads).
+func (s *server) keyReader(rank int, h *serve.Handle) (*sion.KeyReader, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if kr, ok := s.keys[rank]; ok {
+		return kr, nil
+	}
+	kr, err := h.KeyReader()
+	if err != nil {
+		return nil, err
+	}
+	s.keys[rank] = kr
+	return kr, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -478,4 +478,3 @@ func (sf *SerialFile) stagedWrite(p []byte) (int, error) {
 	}
 	return total, nil
 }
-

@@ -347,11 +347,11 @@ func TestAutoCollectorGroup(t *testing.T) {
 		fsblk   int64
 		want    int
 	}{
-		{16, 256, 256, 4},   // 4 blocks / 1-block chunks → 4 members
-		{16, 64, 256, 16},   // tiny chunks → whole file, capped by size
-		{2, 64, 256, 2},     // capped by the local task count
-		{16, 4096, 256, 1},  // chunk already spans 16 blocks → direct
-		{4096, 1, 256, 64},  // capped by maxAutoGroup
+		{16, 256, 256, 4},  // 4 blocks / 1-block chunks → 4 members
+		{16, 64, 256, 16},  // tiny chunks → whole file, capped by size
+		{2, 64, 256, 2},    // capped by the local task count
+		{16, 4096, 256, 1}, // chunk already spans 16 blocks → direct
+		{4096, 1, 256, 64}, // capped by maxAutoGroup
 	} {
 		if got := autoCollectorGroup(tc.nlocal, tc.aligned, tc.fsblk); got != tc.want {
 			t.Errorf("autoCollectorGroup(%d, %d, %d) = %d, want %d",

@@ -1,0 +1,173 @@
+package sion
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// errReadInjected is the backend sentinel the wrapping tests assert on: every
+// layer between a backend ReadAt and the caller must wrap with %w so
+// errors.Is still finds it (the fsio sentinel contract — callers match
+// fsio.ErrNotExist/ErrQuota the same way).
+var errReadInjected = errors.New("injected backend failure")
+
+// armFailFS wraps a FileSystem; once armed, every ReadAt of every file it
+// opened fails with errReadInjected.
+type armFailFS struct {
+	fsio.FileSystem
+	armed bool
+}
+
+type armFailFile struct {
+	fsio.File
+	fs *armFailFS
+}
+
+func (f *armFailFS) Open(name string) (fsio.File, error) {
+	fh, err := f.FileSystem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &armFailFile{File: fh, fs: f}, nil
+}
+
+func (f *armFailFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.fs.armed {
+		return 0, errReadInjected
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// TestBackendReadErrorsWrapThroughStaging pins that a backend read error
+// surfaces errors.Is-able through every read path that can sit between
+// the caller and the file: the direct chunk read, the read-ahead staging
+// layer (buffer.go), and ReadLogicalAt.
+func TestBackendReadErrorsWrapThroughStaging(t *testing.T) {
+	base := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, err := ParOpen(c, base, "e.sion", WriteMode, &Options{ChunkSize: 256, FSBlockSize: 128})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(rankPayload(c.Rank(), 900))
+		f.Close()
+	})
+	for _, mode := range []struct {
+		label string
+		buf   int64
+	}{{"direct", 0}, {"buffered", BufferAuto}} {
+		ffs := &armFailFS{FileSystem: base}
+		h, err := OpenRank(ffs, "e.sion", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mode.label, err)
+		}
+		if err := h.SetBufferSize(mode.buf); err != nil {
+			t.Fatal(err)
+		}
+		ffs.armed = true
+		if _, err := h.Read(make([]byte, 64)); !errors.Is(err, errReadInjected) {
+			t.Errorf("%s: Read error %v does not wrap the backend error", mode.label, err)
+		}
+		if _, err := h.ReadLogicalAt(make([]byte, 64), 10); !errors.Is(err, errReadInjected) {
+			t.Errorf("%s: ReadLogicalAt error %v does not wrap the backend error", mode.label, err)
+		}
+		ffs.armed = false
+		h.Close()
+	}
+}
+
+// TestBackendReadErrorsWrapThroughMetadata pins the same contract for the
+// metadata parse paths (parseHeader/readTail, used by Open, OpenRank,
+// LoadLayout): a backend failure must surface both ErrCorrupt (the parse
+// could not complete) and the underlying backend sentinel.
+func TestBackendReadErrorsWrapThroughMetadata(t *testing.T) {
+	base := fsio.NewOS(t.TempDir())
+	mpi.Run(2, func(c *mpi.Comm) {
+		f, err := ParOpen(c, base, "m.sion", WriteMode, &Options{ChunkSize: 256, FSBlockSize: 128})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(rankPayload(c.Rank(), 300))
+		f.Close()
+	})
+	ffs := &armFailFS{FileSystem: base, armed: true}
+	if _, err := LoadLayout(ffs, "m.sion"); !errors.Is(err, errReadInjected) || !errors.Is(err, ErrCorrupt) {
+		t.Errorf("LoadLayout error %v lacks the backend sentinel or ErrCorrupt", err)
+	}
+	if _, err := Open(ffs, "m.sion"); !errors.Is(err, errReadInjected) {
+		t.Errorf("Open error %v lacks the backend sentinel", err)
+	}
+	if _, err := OpenRank(ffs, "m.sion", 0); !errors.Is(err, errReadInjected) {
+		t.Errorf("OpenRank error %v lacks the backend sentinel", err)
+	}
+}
+
+// TestMappedSpanReadErrorWraps pins the collective mapped fetch path
+// (fetchFileSpans): a span-read failure must fail every open in the
+// collector's group, and on the collector itself — the rank that actually
+// issued the backend read — the error must carry the backend sentinel.
+// (Members only receive a status code over the wire; an error value
+// cannot cross ranks.)
+func TestMappedSpanReadErrorWraps(t *testing.T) {
+	base := fsio.NewOS(t.TempDir())
+	mpi.Run(4, func(c *mpi.Comm) {
+		f, err := ParOpen(c, base, "s.sion", WriteMode, &Options{ChunkSize: 256, FSBlockSize: 128})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f.Write(rankPayload(c.Rank(), 500))
+		f.Close()
+	})
+	// Fail only large reads: span reads cover whole chunk runs, metadata
+	// reads stay small, so the open reaches the data fetch deterministically.
+	ffs := &sizeFailFS{FileSystem: base, threshold: 256}
+	errs := make([]error, 2)
+	mpi.Run(2, func(c *mpi.Comm) {
+		_, err := ParOpenMapped(c, ffs, "s.sion", ReadMode, nil, &Options{CollectorGroup: 2})
+		errs[c.Rank()] = err
+	})
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: mapped open succeeded despite failing span reads", r)
+		}
+	}
+	if !errors.Is(errs[0], errReadInjected) {
+		t.Errorf("collector error %v does not wrap the backend error", errs[0])
+	}
+}
+
+// sizeFailFS fails ReadAt calls at or above a size threshold (span reads)
+// while letting small metadata reads through.
+type sizeFailFS struct {
+	fsio.FileSystem
+	threshold int
+}
+
+type sizeFailFile struct {
+	fsio.File
+	fs *sizeFailFS
+}
+
+func (f *sizeFailFS) Open(name string) (fsio.File, error) {
+	fh, err := f.FileSystem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &sizeFailFile{File: fh, fs: f}, nil
+}
+
+func (f *sizeFailFile) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) >= f.fs.threshold {
+		return 0, errReadInjected
+	}
+	return f.File.ReadAt(p, off)
+}
+
+var _ io.ReaderAt = (*armFailFile)(nil)

@@ -134,7 +134,7 @@ func (h *header) encode() []byte {
 func parseHeader(f fsio.File) (*header, error) {
 	fixed := make([]byte, headerFixedSize)
 	if _, err := f.ReadAt(fixed, 0); err != nil {
-		return nil, fmt.Errorf("%w: reading header: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading header: %w", ErrCorrupt, err)
 	}
 	if string(fixed[:8]) != magicHeader {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, fixed[:8])
@@ -162,7 +162,7 @@ func parseHeader(f fsio.File) (*header, error) {
 	}
 	rest := make([]byte, h.encodedSize()-headerFixedSize)
 	if _, err := f.ReadAt(rest, int64(headerFixedSize)); err != nil {
-		return nil, fmt.Errorf("%w: reading header tables: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading header tables: %w", ErrCorrupt, err)
 	}
 	off := 0
 	h.GlobalRanks = make([]int64, h.NTasksLocal)
@@ -176,18 +176,14 @@ func parseHeader(f fsio.File) (*header, error) {
 		off += 16
 	}
 	if h.FileNum == 0 {
-		h.Mapping = make([]FileLoc, h.NTasksGlobal)
-		for i := range h.Mapping {
-			h.Mapping[i] = FileLoc{
-				File:      int32(le.Uint32(rest[off:])),
-				LocalRank: int32(le.Uint32(rest[off+4:])),
-			}
-			if h.Mapping[i].File < 0 || h.Mapping[i].File >= h.NFiles ||
-				h.Mapping[i].LocalRank < 0 || h.Mapping[i].LocalRank >= h.NTasksGlobal {
-				return nil, fmt.Errorf("%w: mapping entry %d = %+v", ErrCorrupt, i, h.Mapping[i])
-			}
-			off += 8
+		// The stored table goes through the same hardened codec the mapped
+		// open paths use for the broadcast copy, so the validation rules
+		// cannot drift between the two.
+		mapping, err := decodeMapping(rest[off:], int(h.NTasksGlobal), int(h.NFiles))
+		if err != nil {
+			return nil, err
 		}
+		h.Mapping = mapping
 	}
 	return h, nil
 }
@@ -355,7 +351,7 @@ func readTail(f fsio.File, ntasks int) (*meta2, error) {
 	}
 	tail := make([]byte, tailSize)
 	if _, err := f.ReadAt(tail, size-tailSize); err != nil {
-		return nil, fmt.Errorf("%w: reading trailer: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading trailer: %w", ErrCorrupt, err)
 	}
 	if string(tail[:8]) != magicTail {
 		return nil, fmt.Errorf("%w: missing trailer (crash before close?)", ErrCorrupt)
@@ -368,7 +364,7 @@ func readTail(f fsio.File, ntasks int) (*meta2, error) {
 	}
 	enc := make([]byte, size-tailSize-at)
 	if _, err := f.ReadAt(enc, at); err != nil {
-		return nil, fmt.Errorf("%w: reading metablock 2: %v", ErrCorrupt, err)
+		return nil, fmt.Errorf("%w: reading metablock 2: %w", ErrCorrupt, err)
 	}
 	if crc32.ChecksumIEEE(enc) != want {
 		return nil, fmt.Errorf("%w: metablock 2 checksum mismatch", ErrCorrupt)

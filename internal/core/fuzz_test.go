@@ -44,10 +44,10 @@ func (m *memFile) ReadDiscardAt(n, off int64) (int64, error) {
 	_ = short
 	return got, nil
 }
-func (m *memFile) Size() (int64, error)  { return int64(len(m.b)), nil }
-func (m *memFile) Truncate(int64) error  { return fmt.Errorf("memfile: read-only") }
-func (m *memFile) Sync() error           { return nil }
-func (m *memFile) Close() error          { return nil }
+func (m *memFile) Size() (int64, error) { return int64(len(m.b)), nil }
+func (m *memFile) Truncate(int64) error { return fmt.Errorf("memfile: read-only") }
+func (m *memFile) Sync() error          { return nil }
+func (m *memFile) Close() error         { return nil }
 
 // memFS exposes a set of raw byte images as a read-only fsio.FileSystem.
 type memFS struct{ files map[string][]byte }

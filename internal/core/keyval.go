@@ -50,10 +50,22 @@ type keyRef struct {
 	len int64
 }
 
+// LogicalReaderAt is the logical-stream surface KeyReader indexes: random
+// access into one task's logical file plus its total size. *File implements
+// it over chunks; internal/serve's Handle implements it over the shared
+// block cache, so both serve the identical key-value record format.
+type LogicalReaderAt interface {
+	// ReadLogicalAt fills p from the logical stream starting at off,
+	// returning io.EOF on short reads past the end.
+	ReadLogicalAt(p []byte, off int64) (int, error)
+	// LogicalSize returns the total recorded bytes of the logical stream.
+	LogicalSize() int64
+}
+
 // KeyReader indexes the tagged records of one task's logical file and
 // serves per-key reads (sion_fread_key with seeking).
 type KeyReader struct {
-	f     *File
+	f     LogicalReaderAt
 	index map[uint64][]keyRef
 }
 
@@ -71,6 +83,14 @@ func NewKeyReader(f *File) (*KeyReader, error) {
 	if f.collRead == nil && f.rstage == nil && !f.stagingOff {
 		f.initStaging(BufferAuto)
 	}
+	return NewKeyReaderFrom(f)
+}
+
+// NewKeyReaderFrom builds a key index over any logical stream reader —
+// the generalization of NewKeyReader that internal/serve uses to serve
+// key lookups through its block cache. It applies no staging of its own;
+// the reader is responsible for whatever request coalescing it wants.
+func NewKeyReaderFrom(f LogicalReaderAt) (*KeyReader, error) {
 	r := &KeyReader{f: f, index: make(map[uint64][]keyRef)}
 	var off int64
 	total := f.LogicalSize()

@@ -1,0 +1,112 @@
+package sion
+
+import (
+	"fmt"
+
+	"repro/internal/fsio"
+)
+
+// Layout is an immutable, handle-free description of where every logical
+// byte of a closed multifile lives: per global rank, the physical file and
+// absolute offset of each of its block extents. It exists for layers that
+// do their own physical I/O over a multifile instead of going through
+// File handles — internal/serve builds its block cache on it — and for
+// inspection tools. A Layout holds no open files; it is safe for
+// concurrent use by any number of goroutines.
+type Layout struct {
+	name    string
+	ntasks  int
+	nfiles  int
+	fsblk   int64
+	mapping []FileLoc
+	chunks  []int64         // requested chunk size per global rank
+	blocks  [][]BlockExtent // per global rank, per block
+	sizes   []int64         // logical bytes per global rank
+}
+
+// BlockExtent locates the used bytes of one block of one rank's logical
+// file: Bytes bytes starting at absolute offset Off of physical file File.
+type BlockExtent struct {
+	File  int
+	Off   int64
+	Bytes int64
+}
+
+// LoadLayout parses a multifile's metadata (every segment's metablocks)
+// and returns its layout. The multifile must be complete — written and
+// closed; an in-progress multifile has no metablock 2 and fails with
+// ErrCorrupt.
+func LoadLayout(fsys fsio.FileSystem, name string) (*Layout, error) {
+	ml, err := openMappedLocal(fsys, name, nil)
+	if err != nil {
+		return nil, fmt.Errorf("sion: LoadLayout %s: %w", name, err)
+	}
+	defer ml.closeAll()
+	l := &Layout{
+		name:    name,
+		ntasks:  ml.ntasks,
+		nfiles:  ml.nfiles,
+		fsblk:   ml.fsblk,
+		mapping: append([]FileLoc(nil), ml.mapping...),
+		chunks:  make([]int64, ml.ntasks),
+		blocks:  make([][]BlockExtent, ml.ntasks),
+		sizes:   make([]int64, ml.ntasks),
+	}
+	for g := 0; g < ml.ntasks; g++ {
+		loc := ml.mapping[g]
+		pf := ml.segs[int(loc.File)]
+		li := int(loc.LocalRank)
+		l.chunks[g] = pf.h.ChunkSizes[li]
+		bb := pf.m2.BlockBytes[li]
+		exts := make([]BlockExtent, len(bb))
+		for b, n := range bb {
+			exts[b] = BlockExtent{File: int(loc.File), Off: pf.geo.dataOff(li, b), Bytes: n}
+			l.sizes[g] += n
+		}
+		l.blocks[g] = exts
+	}
+	return l, nil
+}
+
+// Name returns the logical multifile name the layout was loaded from.
+func (l *Layout) Name() string { return l.name }
+
+// NTasks returns the number of logical task-local files.
+func (l *Layout) NTasks() int { return l.ntasks }
+
+// NumFiles returns the number of physical files.
+func (l *Layout) NumFiles() int { return l.nfiles }
+
+// FSBlockSize returns the block size chunks are aligned to.
+func (l *Layout) FSBlockSize() int64 { return l.fsblk }
+
+// PhysicalName returns the on-disk name of physical file k.
+func (l *Layout) PhysicalName(k int) string { return fileName(l.name, k) }
+
+// Mapping returns a copy of the global rank→(file, local rank) table.
+func (l *Layout) Mapping() []FileLoc { return append([]FileLoc(nil), l.mapping...) }
+
+// ChunkSize returns the requested chunk size of rank g (0 if out of range).
+func (l *Layout) ChunkSize(g int) int64 {
+	if g < 0 || g >= l.ntasks {
+		return 0
+	}
+	return l.chunks[g]
+}
+
+// RankSize returns the total logical bytes of rank g (0 if out of range).
+func (l *Layout) RankSize(g int) int64 {
+	if g < 0 || g >= l.ntasks {
+		return 0
+	}
+	return l.sizes[g]
+}
+
+// RankBlocks returns a copy of rank g's block extents in logical order:
+// concatenating them yields the rank's logical stream.
+func (l *Layout) RankBlocks(g int) []BlockExtent {
+	if g < 0 || g >= l.ntasks {
+		return nil
+	}
+	return append([]BlockExtent(nil), l.blocks[g]...)
+}

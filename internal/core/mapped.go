@@ -64,8 +64,8 @@ type MappedFile struct {
 	nfiles int
 	fsblk  int64
 
-	owned   []int         // sorted original writer ranks owned by this reader
-	handles map[int]*File // per owned rank
+	owned   []int             // sorted original writer ranks owned by this reader
+	handles map[int]*File     // per owned rank
 	fhs     map[int]fsio.File // direct mode: one shared handle per physical file
 
 	collGroup int
@@ -483,6 +483,7 @@ func (mf *MappedFile) collectiveFetch(group int, localErr bool) error {
 	if localErr {
 		status = 1
 	}
+	var fetchErr error // the collector's own root cause, wrapped below
 	var regions []*mappedRegion
 	if !localErr {
 		for _, g := range mf.owned {
@@ -516,6 +517,7 @@ func (mf *MappedFile) collectiveFetch(group int, localErr bool) error {
 	if status == 0 {
 		if err := mf.fetchRegions(regions); err != nil {
 			status = 1
+			fetchErr = err
 		}
 	}
 	for _, m := range members {
@@ -528,6 +530,12 @@ func (mf *MappedFile) collectiveFetch(group int, localErr bool) error {
 		comm.Send(m, tagMappedData, reply)
 	}
 	if status != 0 {
+		if fetchErr != nil {
+			// The collector knows the root cause; members only see the
+			// status code (an error value cannot cross ranks), so only
+			// here can callers errors.Is the backend sentinel.
+			return fmt.Errorf("sion: ParOpenMapped %s: collective mapped read failed in collector %d's group: %w", mf.name, lead, fetchErr)
+		}
 		return failErr()
 	}
 	for _, r := range regions {
@@ -567,18 +575,11 @@ func (mf *MappedFile) fetchRegions(regions []*mappedRegion) error {
 	return nil
 }
 
-// maxSpanGap bounds the unowned bytes a collector span read may fetch
-// between two owned chunk regions of one block. Balanced contiguous
-// ownership leaves only alignment slack between regions (well under one
-// chunk), so dense blocks still move in one read per block; a sparse
-// explicit ownership (e.g. a group owning the first and last writer rank)
-// is split at the gaps instead of fetching — and allocating — the whole
-// stride between them.
-const maxSpanGap = 1 << 20
-
 // fetchFileSpans reads one physical file's share of the regions, block by
-// block: the block's owned chunk regions are sorted by offset and merged
-// into runs whose internal gaps stay below maxSpanGap, one read per run.
+// block: the block's owned chunk regions are merged into dense runs whose
+// internal gaps stay below DefaultSpanGap (CoalesceExtents, span.go — the
+// same gap-splitting logic internal/serve uses for cache-miss batching),
+// one read per run.
 func fetchFileSpans(fh fsio.File, regs []*mappedRegion) error {
 	maxBlocks := 0
 	for _, r := range regs {
@@ -586,39 +587,24 @@ func fetchFileSpans(fh fsio.File, regs []*mappedRegion) error {
 			maxBlocks = len(r.bb)
 		}
 	}
-	type ext struct {
-		off int64
-		r   *mappedRegion
-	}
 	for b := 0; b < maxBlocks; b++ {
-		var exts []ext
-		for _, r := range regs {
+		var exts []Extent
+		for i, r := range regs {
 			if b < len(r.bb) && r.bb[b] > 0 {
-				exts = append(exts, ext{r.dataOff0 + int64(b)*r.stride, r})
+				exts = append(exts, Extent{Off: r.dataOff0 + int64(b)*r.stride, Len: r.bb[b], Idx: i})
 			}
 		}
-		if len(exts) == 0 {
-			continue
-		}
-		sort.Slice(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
-		for i := 0; i < len(exts); {
-			j, lo, hi := i, exts[i].off, exts[i].off+exts[i].r.bb[b]
-			for j+1 < len(exts) && exts[j+1].off-hi <= maxSpanGap {
-				j++
-				if end := exts[j].off + exts[j].r.bb[b]; end > hi {
-					hi = end
-				}
-			}
-			buf := getStageBuf(hi - lo)[:hi-lo]
-			n, err := fh.ReadAt(buf, lo)
+		for _, sp := range CoalesceExtents(exts, DefaultSpanGap) {
+			buf := getStageBuf(sp.End - sp.Off)[:sp.End-sp.Off]
+			n, err := fh.ReadAt(buf, sp.Off)
 			if err != nil && err != io.EOF {
 				putStageBuf(buf)
-				return err
+				return fmt.Errorf("span read at %d: %w", sp.Off, err)
 			}
 			zeroTail(buf, n)
-			for ; i <= j; i++ {
-				r := exts[i].r
-				copy(r.stream[r.base[b]:r.base[b]+r.bb[b]], buf[exts[i].off-lo:])
+			for _, e := range sp.Extents {
+				r := regs[e.Idx]
+				copy(r.stream[r.base[b]:r.base[b]+r.bb[b]], buf[e.Off-sp.Off:])
 			}
 			putStageBuf(buf)
 		}

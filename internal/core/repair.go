@@ -91,13 +91,20 @@ func repairSegment(fh fsio.File, h *header) (int, error) {
 			bytes := ch.Bytes
 			if bytes < 0 {
 				// The writer crashed inside this block; recover what
-				// physically fits in the file.
+				// physically fits in the file and seal the header with the
+				// recovered count, so the repaired multifile is fully
+				// self-consistent (Verify cross-checks headers against the
+				// rebuilt metablock 2).
 				bytes = size - g.dataOff(li, b)
 				if bytes < 0 {
 					bytes = 0
 				}
 				if c := g.capacity(li); bytes > c {
 					bytes = c
+				}
+				seal := chunkHeader{GlobalRank: h.GlobalRanks[li], Block: int64(b), Bytes: bytes}
+				if _, err := fh.WriteAt(seal.encode(), off); err != nil {
+					return recovered, err
 				}
 			}
 			bb = append(bb, bytes)

@@ -50,8 +50,8 @@ func TestPropertyRoundTripModes(t *testing.T) {
 		{"rr", RoundRobinMap},
 	}
 	for iter := 0; iter < 12; iter++ {
-		n := 2 + rng.Intn(9)             // 2..10 tasks
-		nfiles := 1 + rng.Intn(3)        // 1..3 physical files
+		n := 2 + rng.Intn(9)      // 2..10 tasks
+		nfiles := 1 + rng.Intn(3) // 1..3 physical files
 		if nfiles > n {
 			nfiles = n
 		}

@@ -1,0 +1,75 @@
+package sion
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCoalesceExtents(t *testing.T) {
+	tests := []struct {
+		name   string
+		exts   []Extent
+		maxGap int64
+		want   []Span
+	}{
+		{name: "empty", exts: nil, maxGap: 10, want: nil},
+		{
+			name: "single",
+			exts: []Extent{{Off: 100, Len: 50, Idx: 0}},
+			want: []Span{{Off: 100, End: 150, Extents: []Extent{{Off: 100, Len: 50}}}},
+		},
+		{
+			name:   "adjacent merge with zero gap",
+			exts:   []Extent{{Off: 0, Len: 10, Idx: 0}, {Off: 10, Len: 10, Idx: 1}},
+			maxGap: 0,
+			want: []Span{{Off: 0, End: 20, Extents: []Extent{
+				{Off: 0, Len: 10, Idx: 0}, {Off: 10, Len: 10, Idx: 1}}}},
+		},
+		{
+			name:   "gap over budget splits",
+			exts:   []Extent{{Off: 0, Len: 10}, {Off: 21, Len: 5, Idx: 1}},
+			maxGap: 10,
+			want: []Span{
+				{Off: 0, End: 10, Extents: []Extent{{Off: 0, Len: 10}}},
+				{Off: 21, End: 26, Extents: []Extent{{Off: 21, Len: 5, Idx: 1}}},
+			},
+		},
+		{
+			name:   "gap at budget merges",
+			exts:   []Extent{{Off: 0, Len: 10}, {Off: 20, Len: 5, Idx: 1}},
+			maxGap: 10,
+			want: []Span{{Off: 0, End: 25, Extents: []Extent{
+				{Off: 0, Len: 10}, {Off: 20, Len: 5, Idx: 1}}}},
+		},
+		{
+			name:   "unsorted input with overlap keeps tags",
+			exts:   []Extent{{Off: 50, Len: 20, Idx: 2}, {Off: 0, Len: 60, Idx: 1}},
+			maxGap: 0,
+			want: []Span{{Off: 0, End: 70, Extents: []Extent{
+				{Off: 0, Len: 60, Idx: 1}, {Off: 50, Len: 20, Idx: 2}}}},
+		},
+		{
+			name:   "contained extent does not shrink the span",
+			exts:   []Extent{{Off: 0, Len: 100, Idx: 0}, {Off: 10, Len: 5, Idx: 1}, {Off: 200, Len: 1, Idx: 2}},
+			maxGap: 50,
+			want: []Span{
+				{Off: 0, End: 100, Extents: []Extent{{Off: 0, Len: 100, Idx: 0}, {Off: 10, Len: 5, Idx: 1}}},
+				{Off: 200, End: 201, Extents: []Extent{{Off: 200, Len: 1, Idx: 2}}},
+			},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CoalesceExtents(tc.exts, tc.maxGap)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("CoalesceExtents(%v, %d)\n got %v\nwant %v", tc.exts, tc.maxGap, got, tc.want)
+			}
+		})
+	}
+	// The input slice must not be reordered in place.
+	in := []Extent{{Off: 30, Len: 1}, {Off: 0, Len: 1}}
+	CoalesceExtents(in, 100)
+	if in[0].Off != 30 {
+		t.Fatal("CoalesceExtents reordered the caller's slice")
+	}
+}

@@ -40,6 +40,36 @@ func Dump(fsys fsio.FileSystem, name string, w io.Writer) error {
 	return nil
 }
 
+// DumpMapping prints a multifile's global rank→(physical file, local
+// rank) mapping table (siondump -mapping). It reads only file 0's header
+// — the mapping bytes pass through the same hardened decodeMapping codec
+// (format.go) the mapped open paths trust — so it works on multifiles
+// whose other segments are missing or damaged.
+func DumpMapping(fsys fsio.FileSystem, name string, w io.Writer) error {
+	fh, err := fsys.Open(fileName(name, 0))
+	if err != nil {
+		return fmt.Errorf("sion: DumpMapping %s: %w", name, err)
+	}
+	h, err := parseHeader(fh)
+	fh.Close()
+	if err != nil {
+		return fmt.Errorf("sion: DumpMapping %s: %w", name, err)
+	}
+	fmt.Fprintf(w, "multifile:     %s\n", name)
+	fmt.Fprintf(w, "tasks:         %d\n", h.NTasksGlobal)
+	fmt.Fprintf(w, "physical files:%d\n", h.NFiles)
+	perFile := make([]int, h.NFiles)
+	fmt.Fprintf(w, "%6s %6s %6s  %s\n", "task", "file", "lrank", "segment")
+	for r, loc := range h.Mapping {
+		perFile[loc.File]++
+		fmt.Fprintf(w, "%6d %6d %6d  %s\n", r, loc.File, loc.LocalRank, fileName(name, int(loc.File)))
+	}
+	for k, n := range perFile {
+		fmt.Fprintf(w, "segment %d: %d tasks\n", k, n)
+	}
+	return nil
+}
+
 // Split extracts the logical task-local files from a multifile and
 // recreates them as physical files (the paper's §3.3 "split" utility).
 // pattern must contain one "%d" verb receiving the task rank; out may be

@@ -141,6 +141,7 @@ func All(scale int) []*Result {
 		Table3(scale),
 		Table4(scale),
 		Table5(scale),
+		Table6(scale),
 	}
 }
 
@@ -171,11 +172,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table4
 	case "tab5", "table5":
 		return Table5
+	case "tab6", "table6":
+		return Table6
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6"}
 }

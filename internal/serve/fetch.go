@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+)
+
+// Per-physical-file fetcher: the only entity that issues backend reads for
+// its file. Serializing misses through one goroutine per file is what CkIO
+// calls the aggregator pattern — it gives singleflight semantics for free
+// (a miss queued behind an identical in-flight miss finds the block cached
+// when its turn comes, instead of issuing a duplicate read) and makes
+// request coalescing natural: every miss that accumulates while the
+// previous batch is on the wire is merged into the next batch, and the
+// batch's blocks are fused into dense span reads with the same
+// gap-splitting logic the mapped collective open uses
+// (sion.CoalesceExtents).
+
+// fetchReq asks the fetcher to materialize a set of cache blocks.
+type fetchReq struct {
+	blocks []int64 // sorted block indices the caller missed
+	reply  chan fetchRes
+}
+
+// fetchRes answers every request of one batch: data maps each requested
+// block to its full cache-block payload (shared, immutable). A batch
+// fails or succeeds as a whole.
+type fetchRes struct {
+	data map[int64][]byte
+	err  error
+}
+
+type fetcher struct {
+	s    *Server
+	file int
+	fh   fsio.File
+	reqs chan *fetchReq
+	done chan struct{}
+}
+
+func newFetcher(s *Server, file int, fh fsio.File) *fetcher {
+	f := &fetcher{
+		s:    s,
+		file: file,
+		fh:   fh,
+		reqs: make(chan *fetchReq, 64),
+		done: make(chan struct{}),
+	}
+	go f.loop()
+	return f
+}
+
+// fetch blocks until the fetcher has materialized the given blocks.
+func (f *fetcher) fetch(blocks []int64) fetchRes {
+	req := &fetchReq{blocks: blocks, reply: make(chan fetchRes, 1)}
+	f.reqs <- req
+	return <-req.reply
+}
+
+// stop closes the request channel and waits for the loop to drain. The
+// caller (Server.Close) guarantees no fetch is in flight.
+func (f *fetcher) stop() {
+	close(f.reqs)
+	<-f.done
+}
+
+func (f *fetcher) loop() {
+	defer close(f.done)
+	for req := range f.reqs {
+		batch := []*fetchReq{req}
+		batch = f.collect(batch)
+		f.serve(batch)
+	}
+}
+
+// collect widens the batch: everything already queued is taken, and with a
+// positive BatchWindow the fetcher keeps listening for that long so misses
+// of concurrent clients that are microseconds apart fuse into one backend
+// read pattern.
+func (f *fetcher) collect(batch []*fetchReq) []*fetchReq {
+	if w := f.s.batchWindow; w > 0 {
+		timer := time.NewTimer(w)
+		defer timer.Stop()
+		for {
+			select {
+			case r, ok := <-f.reqs:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, r)
+			case <-timer.C:
+				return batch
+			}
+		}
+	}
+	for {
+		select {
+		case r, ok := <-f.reqs:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+}
+
+// serve materializes the union of the batch's blocks — from the cache
+// where a previous batch already fetched them (the singleflight path),
+// otherwise with one backend read per dense span — and answers every
+// request.
+func (f *fetcher) serve(batch []*fetchReq) {
+	s := f.s
+	bs := s.blockBytes
+	want := make(map[int64][]byte)
+	for _, r := range batch {
+		for _, b := range r.blocks {
+			want[b] = nil
+		}
+	}
+	var missing []sion.Extent
+	for b := range want {
+		if data, ok := s.cache.get(blockKey{f.file, b}); ok {
+			want[b] = data
+			s.flightHits.Add(1)
+		} else {
+			missing = append(missing, sion.Extent{Off: b * bs, Len: bs})
+		}
+	}
+	var err error
+	for _, sp := range sion.CoalesceExtents(missing, s.maxSpanGap) {
+		buf := make([]byte, sp.End-sp.Off)
+		if _, rerr := f.fh.ReadAt(buf, sp.Off); rerr != nil && rerr != io.EOF {
+			// A short read past EOF leaves the zero fill of make, matching
+			// the ReadAt contract for unwritten regions; real errors fail
+			// the whole batch.
+			err = fmt.Errorf("serve: %s: span read at %d: %w", s.layout.PhysicalName(f.file), sp.Off, rerr)
+			break
+		}
+		s.backendReads.Add(1)
+		s.backendBytes.Add(sp.End - sp.Off)
+		for _, e := range sp.Extents {
+			data := buf[e.Off-sp.Off : e.Off-sp.Off+bs]
+			if len(sp.Extents) > 1 {
+				// Copy blocks out of multi-block spans so evicting one
+				// block releases its bytes instead of pinning the span.
+				data = append([]byte(nil), data...)
+			}
+			b := e.Off / bs
+			want[b] = data
+			s.cache.put(blockKey{f.file, b}, data)
+		}
+	}
+	res := fetchRes{data: want, err: err}
+	for _, r := range batch {
+		r.reply <- res
+	}
+}

@@ -1,0 +1,381 @@
+// Package serve is a concurrent read-serving subsystem over a multifile:
+// it fronts one closed multifile (on any fsio backend) for large numbers
+// of logical clients, decoupling the many logical reads from the few
+// backend file requests — the read-side scale lever CkIO (arXiv:2411.18593)
+// gets from aggregating reader requests, and collective-buffering models
+// (Zhang et al., arXiv:0901.0134) get from a cache-and-broadcast layer
+// amortizing backend access across loosely coupled clients. Before this
+// layer, every logical read walked the multifile per handle with no
+// cross-client reuse.
+//
+// Three mechanisms do the work:
+//
+//   - A sharded block cache (cache.go): physical-file bytes are cached in
+//     fixed-size blocks keyed by (physical file, block index). Shards are
+//     a power of two, each with its own lock and LRU list, under one byte
+//     budget split evenly across shards.
+//   - Singleflight and request coalescing (fetch.go): all backend reads
+//     of one physical file are issued by that file's fetcher goroutine.
+//     Concurrent misses of the same block resolve to a single backend
+//     read, and misses in nearby blocks — within one batch or within an
+//     optional batching window — are merged into dense span reads using
+//     the same gap-splitting span logic as the mapped collective open
+//     (sion.CoalesceExtents).
+//   - Cheap client sessions: Open returns a Handle holding only cursor
+//     state, so opening a session issues no backend request at all.
+//     Handles re-express the core read semantics (sequential Read,
+//     ReadLogicalAt, key-value lookups via sion.NewKeyReaderFrom) over
+//     the shared cache.
+//
+// Consistency caveat: New snapshots the multifile metadata once and the
+// cache assumes the data is immutable. Serving a multifile that is still
+// being written is out of scope — open it only after the writers' Close.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+)
+
+// Config tunes a Server. The zero value (or nil) picks the defaults.
+type Config struct {
+	// CacheBytes is the total block-cache budget (default 64 MiB). The
+	// effective shard count shrinks until every shard holds at least one
+	// block, so tiny budgets degrade to a small cache, never to a useless
+	// one.
+	CacheBytes int64
+
+	// BlockBytes is the cache-block size (default: the multifile's FS
+	// block size). Chunks are FS-block-aligned by construction (paper
+	// §3.1), so the default makes cache blocks coincide with chunk
+	// fragments and never straddle two tasks' data unnecessarily.
+	BlockBytes int64
+
+	// Shards is the shard count, rounded up to a power of two
+	// (default 16).
+	Shards int
+
+	// MaxSpanGap bounds the unwanted bytes one backend span read may
+	// fetch between two missed blocks (default sion.DefaultSpanGap;
+	// negative = merge only adjacent blocks).
+	MaxSpanGap int64
+
+	// BatchWindow, when positive, makes a fetcher wait this long after
+	// the first miss of a batch so that misses of concurrent clients
+	// arriving within the window fuse into the same dense spans. The
+	// default 0 still batches everything queued behind an in-flight
+	// fetch, which is what matters at steady load.
+	BatchWindow time.Duration
+}
+
+// Stats is a snapshot of a Server's request counters.
+type Stats struct {
+	Hits          int64 // block lookups served from the cache
+	Misses        int64 // block lookups that had to go to a fetcher
+	FlightHits    int64 // misses resolved by a concurrent fetch (singleflight), no new backend read
+	BackendReads  int64 // span reads issued to the backend
+	BackendBytes  int64 // bytes moved by those span reads
+	ServedBytes   int64 // logical bytes handed to clients
+	Evictions     int64 // cache blocks evicted
+	CachedBytes   int64 // bytes resident in the cache now
+	HandlesOpened int64 // client sessions opened
+}
+
+// Server serves concurrent read sessions over one multifile. All methods
+// are safe for concurrent use.
+type Server struct {
+	mu     sync.RWMutex // readAt holds R, Close holds W
+	closed bool
+
+	layout      *sion.Layout
+	files       []fsio.File
+	fetchers    []*fetcher
+	cache       *blockCache
+	blockBytes  int64
+	maxSpanGap  int64
+	batchWindow time.Duration
+
+	hits, misses, flightHits   atomic.Int64
+	backendReads, backendBytes atomic.Int64
+	servedBytes, handles       atomic.Int64
+}
+
+// New opens every physical file of the multifile, snapshots its layout,
+// and starts one fetcher per physical file.
+func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
+	layout, err := sion.LoadLayout(fsys, name)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.BlockBytes <= 0 {
+		c.BlockBytes = layout.FSBlockSize()
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	// Round up to a power of two first (the cache masks the key hash), so
+	// the one-block-per-shard guarantee below holds for the count actually
+	// used — halving a rounded count keeps it a power of two.
+	for n := 1; ; n <<= 1 {
+		if n >= c.Shards {
+			c.Shards = n
+			break
+		}
+	}
+	// Keep at least one block per shard so the budget is never split into
+	// shards too small to hold anything.
+	for c.Shards > 1 && c.CacheBytes/int64(c.Shards) < c.BlockBytes {
+		c.Shards /= 2
+	}
+	if c.MaxSpanGap == 0 {
+		c.MaxSpanGap = sion.DefaultSpanGap
+	} else if c.MaxSpanGap < 0 {
+		c.MaxSpanGap = 0
+	}
+	s := &Server{
+		layout:      layout,
+		blockBytes:  c.BlockBytes,
+		maxSpanGap:  c.MaxSpanGap,
+		batchWindow: c.BatchWindow,
+		cache:       newBlockCache(c.CacheBytes, c.Shards),
+	}
+	for k := 0; k < layout.NumFiles(); k++ {
+		fh, err := fsys.Open(layout.PhysicalName(k))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: opening physical file %d: %w", k, err)
+		}
+		s.files = append(s.files, fh)
+		s.fetchers = append(s.fetchers, newFetcher(s, k, fh))
+	}
+	return s, nil
+}
+
+// Layout returns the multifile layout the server was built from.
+func (s *Server) Layout() *sion.Layout { return s.layout }
+
+// Stats returns a snapshot of the request counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		FlightHits:    s.flightHits.Load(),
+		BackendReads:  s.backendReads.Load(),
+		BackendBytes:  s.backendBytes.Load(),
+		ServedBytes:   s.servedBytes.Load(),
+		Evictions:     s.cache.evictions.Load(),
+		CachedBytes:   s.cache.cachedBytes(),
+		HandlesOpened: s.handles.Load(),
+	}
+}
+
+// Close stops the fetchers and closes the physical files. Handles become
+// unusable; in-flight reads finish first.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for _, f := range s.fetchers {
+		f.stop()
+	}
+	var firstErr error
+	for _, fh := range s.files {
+		if err := fh.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// readAt serves [off, off+len(p)) of physical file `file` through the
+// cache, delegating misses to the file's fetcher.
+func (s *Server) readAt(file int, p []byte, off int64) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return fmt.Errorf("serve: %s: server is closed", s.layout.Name())
+	}
+	bs := s.blockBytes
+	var missing []int64
+	for b := off / bs; b <= (off+int64(len(p))-1)/bs; b++ {
+		if data, ok := s.cache.get(blockKey{file, b}); ok {
+			s.hits.Add(1)
+			copyBlockPortion(p, off, b, bs, data)
+		} else {
+			s.misses.Add(1)
+			missing = append(missing, b)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	res := s.fetchers[file].fetch(missing)
+	if res.err != nil {
+		return res.err
+	}
+	for _, b := range missing {
+		copyBlockPortion(p, off, b, bs, res.data[b])
+	}
+	return nil
+}
+
+// copyBlockPortion copies the intersection of cache block b with the
+// request window [off, off+len(p)) from the block's data into p.
+func copyBlockPortion(p []byte, off, b, bs int64, data []byte) {
+	blockStart := b * bs
+	lo, hi := off, off+int64(len(p))
+	if blockStart > lo {
+		lo = blockStart
+	}
+	if end := blockStart + int64(len(data)); end < hi {
+		hi = end
+	}
+	if hi > lo {
+		copy(p[lo-off:hi-off], data[lo-blockStart:hi-blockStart])
+	}
+}
+
+// Handle is one client's read session over a rank's logical file. A
+// Handle is cheap (no backend state) and implements io.Reader, io.Seeker,
+// and sion.LogicalReaderAt. ReadLogicalAt, LogicalSize, and KeyReader are
+// stateless and safe for concurrent use even on one Handle; Read and
+// Seek share the cursor and belong to a single goroutine — concurrent
+// clients each Open their own Handle.
+type Handle struct {
+	s      *Server
+	rank   int
+	blocks []sion.BlockExtent
+	base   []int64 // logical offset of each block extent's first byte
+	size   int64
+	pos    int64
+}
+
+var (
+	_ io.Reader            = (*Handle)(nil)
+	_ io.Seeker            = (*Handle)(nil)
+	_ sion.LogicalReaderAt = (*Handle)(nil)
+)
+
+// Open starts a read session on the logical file of writer rank `rank`.
+// It touches only the layout snapshot — no backend request is issued.
+func (s *Server) Open(rank int) (*Handle, error) {
+	if rank < 0 || rank >= s.layout.NTasks() {
+		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", s.layout.Name(), rank, s.layout.NTasks()-1)
+	}
+	blocks := s.layout.RankBlocks(rank)
+	base := make([]int64, len(blocks))
+	var size int64
+	for b, be := range blocks {
+		base[b] = size
+		size += be.Bytes
+	}
+	s.handles.Add(1)
+	return &Handle{s: s, rank: rank, blocks: blocks, base: base, size: size}, nil
+}
+
+// Rank returns the writer rank this handle reads.
+func (h *Handle) Rank() int { return h.rank }
+
+// LogicalSize returns the total recorded bytes of the rank's logical file.
+func (h *Handle) LogicalSize() int64 { return h.size }
+
+// ReadLogicalAt fills p from the rank's logical stream starting at off,
+// spanning blocks as needed, without moving the cursor. It returns io.EOF
+// on short reads past the end (sion.LogicalReaderAt semantics).
+func (h *Handle) ReadLogicalAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("serve: %s: negative logical offset", h.s.layout.Name())
+	}
+	// Locate the block extent containing off.
+	block := sort.Search(len(h.base), func(i int) bool { return h.base[i] > off })
+	if block > 0 {
+		block--
+	}
+	total := 0
+	for len(p) > 0 && block < len(h.blocks) {
+		be := h.blocks[block]
+		rel := off - h.base[block]
+		avail := be.Bytes - rel
+		if avail <= 0 {
+			block++
+			continue
+		}
+		n := int64(len(p))
+		if n > avail {
+			n = avail
+		}
+		if err := h.s.readAt(be.File, p[:n], be.Off+rel); err != nil {
+			return total, err
+		}
+		p = p[n:]
+		off += n
+		total += int(n)
+	}
+	h.s.servedBytes.Add(int64(total))
+	if len(p) > 0 {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// Read fills p from the cursor and advances it (io.Reader); it returns
+// io.EOF only once the stream is exhausted, like (*sion.File).Read.
+func (h *Handle) Read(p []byte) (int, error) {
+	if h.pos >= h.size {
+		return 0, io.EOF
+	}
+	if rest := h.size - h.pos; int64(len(p)) > rest {
+		p = p[:rest]
+	}
+	n, err := h.ReadLogicalAt(p, h.pos)
+	h.pos += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+// Seek positions the cursor in the logical stream (io.Seeker).
+func (h *Handle) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = h.pos + offset
+	case io.SeekEnd:
+		abs = h.size + offset
+	default:
+		return 0, fmt.Errorf("serve: Seek: invalid whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("serve: Seek: negative position %d", abs)
+	}
+	h.pos = abs
+	return abs, nil
+}
+
+// KeyReader indexes the rank's key-value records (sion.NewKeyReaderFrom)
+// through the cache: the index scan and every later record read are
+// ordinary cached block accesses, so concurrent clients indexing the same
+// rank share the underlying backend reads.
+func (h *Handle) KeyReader() (*sion.KeyReader, error) {
+	return sion.NewKeyReaderFrom(h)
+}
