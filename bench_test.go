@@ -155,3 +155,20 @@ func BenchmarkTable6Serve(b *testing.B) {
 		return lastFloat(r.Rows[0], 4) / lastFloat(r.Rows[1], 4), "backend-read-reduction"
 	})
 }
+
+// BenchmarkTable7Tailing regenerates the live-tailing table; the metric
+// is the number of verified injected-crash trials (the streaming lag,
+// torn-record, and byte-identity bounds are asserted inside the
+// experiment, so the run fails loudly rather than reporting a bad
+// number). The trial count is fixed and the simulation deterministic, so
+// the metric doubles as a regression tripwire for the crash sweep.
+func BenchmarkTable7Tailing(b *testing.B) {
+	benchExperiment(b, "tab7", func(r *expt.Result) (float64, string) {
+		verified := strings.Split(r.Rows[1][7], "/")[0]
+		v, err := strconv.ParseFloat(verified, 64)
+		if err != nil {
+			b.Fatalf("tab7 verified cell %q: %v", r.Rows[1][7], err)
+		}
+		return v, "crash-trials-verified"
+	})
+}

@@ -60,16 +60,23 @@ func main() {
 		os.Exit(1)
 	}
 	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/ranks", s.handleRanks)
-	mux.HandleFunc("/rank/", s.handleRank)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux := s.mux()
 	fmt.Printf("sionserve: serving %s (%d ranks, %d physical files) on %s\n",
 		flag.Arg(0), srv.Layout().NTasks(), srv.Layout().NumFiles(), *addr)
 	if err := http.ListenAndServe(*addr, mux); err != nil {
 		fmt.Fprintln(os.Stderr, "sionserve:", err)
 		os.Exit(1)
 	}
+}
+
+// mux wires the handler table (split out so tests drive the handlers
+// through httptest without a listener).
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ranks", s.handleRanks)
+	mux.HandleFunc("/rank/", s.handleRank)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
 }
 
 func (s *server) handleRanks(w http.ResponseWriter, _ *http.Request) {
@@ -143,18 +150,27 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveBytes answers /rank/<r> with the whole stream or the ?off=&n=
-// window.
+// window. Malformed values are 400s; a well-formed off outside [0, size]
+// is a 416 (range not satisfiable, mirroring HTTP range semantics); a
+// count past the end is clamped to the stream's tail. off == size is a
+// valid empty window.
 func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Handle) {
-	off, n := int64(0), h.LogicalSize()
+	size := h.LogicalSize()
+	off, n := int64(0), size
 	q := r.URL.Query()
 	if v := q.Get("off"); v != "" {
 		parsed, err := strconv.ParseInt(v, 10, 64)
-		if err != nil || parsed < 0 || parsed > h.LogicalSize() {
-			http.Error(w, "off is not an offset inside the logical stream", http.StatusBadRequest)
+		if err != nil {
+			http.Error(w, "off is not an integer", http.StatusBadRequest)
+			return
+		}
+		if parsed < 0 || parsed > size {
+			http.Error(w, fmt.Sprintf("off %d outside the logical stream (0..%d)", parsed, size),
+				http.StatusRequestedRangeNotSatisfiable)
 			return
 		}
 		off = parsed
-		n = h.LogicalSize() - off
+		n = size - off
 	}
 	if v := q.Get("n"); v != "" {
 		want, err := strconv.ParseInt(v, 10, 64)
@@ -167,11 +183,14 @@ func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Han
 		}
 	}
 	buf := make([]byte, n)
-	if _, err := h.ReadLogicalAt(buf, off); err != nil && n > 0 {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	if n > 0 {
+		if _, err := h.ReadLogicalAt(buf, off); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 	w.Write(buf)
 }
 

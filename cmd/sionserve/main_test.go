@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/serve"
+)
+
+// tsPayload is the deterministic per-rank content of the test multifile.
+func tsPayload(rank, size int) []byte {
+	p := make([]byte, size)
+	x := uint32(rank)*2654435761 + 12345
+	for i := range p {
+		x = x*1664525 + 1013904223
+		p[i] = byte(x >> 24)
+	}
+	return p
+}
+
+const (
+	tsRanks   = 3
+	tsPerRank = 5000
+)
+
+// newTestServer writes a small multifile and returns the HTTP handler
+// table over it.
+func newTestServer(t *testing.T) *http.ServeMux {
+	t.Helper()
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(tsRanks, func(c *mpi.Comm) {
+		f, err := sion.ParOpen(c, fsys, "data", sion.WriteMode, &sion.Options{ChunkSize: 2048})
+		if err != nil {
+			t.Errorf("rank %d: ParOpen: %v", c.Rank(), err)
+			return
+		}
+		if _, err := f.Write(tsPayload(c.Rank(), tsPerRank)); err != nil {
+			t.Errorf("rank %d: Write: %v", c.Rank(), err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("rank %d: Close: %v", c.Rank(), err)
+		}
+	})
+	srv, err := serve.New(fsys, "data", nil)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
+	return s.mux()
+}
+
+func TestHandleRankWindows(t *testing.T) {
+	mux := newTestServer(t)
+	full := tsPayload(1, tsPerRank)
+	cases := []struct {
+		name   string
+		url    string
+		status int
+		want   []byte // nil = don't check the body bytes
+	}{
+		{"whole stream", "/rank/1", 200, full},
+		{"window", "/rank/1?off=100&n=50", 200, full[100:150]},
+		{"offset to end", fmt.Sprintf("/rank/1?off=%d", tsPerRank-7), 200, full[tsPerRank-7:]},
+		{"empty window at end", fmt.Sprintf("/rank/1?off=%d", tsPerRank), 200, []byte{}},
+		{"count clamped to tail", fmt.Sprintf("/rank/1?off=%d&n=9999", tsPerRank-3), 200, full[tsPerRank-3:]},
+		{"zero count", "/rank/1?off=5&n=0", 200, []byte{}},
+		{"off past end", fmt.Sprintf("/rank/1?off=%d", tsPerRank+1), 416, nil},
+		{"negative off", "/rank/1?off=-1", 416, nil},
+		{"huge off", "/rank/1?off=92233720368547758070", 400, nil}, // overflows int64 → malformed
+		{"non-integer off", "/rank/1?off=abc", 400, nil},
+		{"negative n", "/rank/1?n=-1", 400, nil},
+		{"non-integer n", "/rank/1?n=x", 400, nil},
+		{"unknown rank", "/rank/99", 404, nil},
+		{"non-integer rank", "/rank/zzz", 400, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+			if rec.Code != tc.status {
+				t.Fatalf("%s: status %d, want %d (body %q)", tc.url, rec.Code, tc.status, rec.Body.String())
+			}
+			if tc.want == nil {
+				return
+			}
+			if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(len(tc.want)) {
+				t.Errorf("%s: Content-Length %q, want %d", tc.url, cl, len(tc.want))
+			}
+			if !bytes.Equal(rec.Body.Bytes(), tc.want) {
+				t.Errorf("%s: body mismatch (%d bytes, want %d)", tc.url, rec.Body.Len(), len(tc.want))
+			}
+		})
+	}
+}
+
+func TestHandleRanksAndStats(t *testing.T) {
+	mux := newTestServer(t)
+	for _, url := range []string{"/ranks", "/stats"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s: status %d", url, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type %q", url, ct)
+		}
+		if _, err := io.ReadAll(rec.Result().Body); err != nil {
+			t.Errorf("%s: reading body: %v", url, err)
+		}
+	}
+}

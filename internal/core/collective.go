@@ -70,20 +70,21 @@ const asyncFlushCap = 4 << 20
 type collFrame struct {
 	logicalOff int64
 	final      bool
+	member     int64 // local rank of the member that produced the data
 	chunk0     int64
 	capacity   int64
 	stride     int64
 	data       []byte
 }
 
-const collFrameHdr = 6 * 8
+const collFrameHdr = 7 * 8
 
 func (fr *collFrame) encode() []byte {
 	fin := int64(0)
 	if fr.final {
 		fin = 1
 	}
-	buf := encodeInt64s([]int64{fr.logicalOff, fin, fr.chunk0, fr.capacity, fr.stride, int64(len(fr.data))})
+	buf := encodeInt64s([]int64{fr.logicalOff, fin, fr.member, fr.chunk0, fr.capacity, fr.stride, int64(len(fr.data))})
 	return append(buf, fr.data...)
 }
 
@@ -92,12 +93,12 @@ func decodeCollFrame(raw []byte) (collFrame, error) {
 		return collFrame{}, fmt.Errorf("sion: collective frame truncated (%d bytes)", len(raw))
 	}
 	v := decodeInt64s(raw[:collFrameHdr])
-	if int64(len(raw)-collFrameHdr) != v[5] {
-		return collFrame{}, fmt.Errorf("sion: collective frame announced %d bytes, carries %d", v[5], len(raw)-collFrameHdr)
+	if int64(len(raw)-collFrameHdr) != v[6] {
+		return collFrame{}, fmt.Errorf("sion: collective frame announced %d bytes, carries %d", v[6], len(raw)-collFrameHdr)
 	}
 	return collFrame{
-		logicalOff: v[0], final: v[1] != 0,
-		chunk0: v[2], capacity: v[3], stride: v[4],
+		logicalOff: v[0], final: v[1] != 0, member: v[2],
+		chunk0: v[3], capacity: v[4], stride: v[5],
 		data: raw[collFrameHdr:],
 	}, nil
 }
@@ -120,8 +121,24 @@ type collState struct {
 	done   chan struct{}  // closed when the real-mode flusher exits
 	simf   *simFlusher    // sim-mode background flusher process
 	finals map[int]bool   // members whose final frame has been taken
-	mu     sync.Mutex     // guards ferr (flusher vs. Flush peeking)
+	mu     sync.Mutex     // guards ferr and applied (flusher vs. collector)
 	ferr   error          // first deferred write error
+
+	// Watermark progress (Options.Watermarks, collector only): per member
+	// local rank, logical bytes fully applied to the physical file and the
+	// member's chunk capacity (from its frames). Updated by whichever
+	// context applies frames (possibly the real-mode flusher goroutine),
+	// snapshotted under mu by collCommitWatermarks. wmTotals tracks the
+	// last committed totals so unchanged members skip cell writes; it is
+	// touched only by the collector's own Flush/Close path.
+	applied  map[int]collProgress
+	wmTotals map[int]int64
+}
+
+// collProgress is one member's applied-bytes high-water mark.
+type collProgress struct {
+	bytes    int64
+	capacity int64
 }
 
 // workerSpawner is implemented by file systems (simfs views) that can
@@ -201,6 +218,8 @@ func (f *File) initCollective(group int, async bool, flushBytes int64) {
 		c.members = append(c.members, m)
 	}
 	c.finals = make(map[int]bool, len(c.members))
+	c.applied = make(map[int]collProgress, len(c.members)+1)
+	c.wmTotals = make(map[int]int64, len(c.members)+1)
 	if async {
 		if f.lcomm.Proc() == nil {
 			// Real mode: background flusher goroutine per collector.
@@ -245,7 +264,7 @@ func (f *File) runSimFlusher(wfs fsio.FileSystem, p *vtime.Proc) {
 			p.AdvanceTo(s.at)
 		}
 		if fh != nil {
-			f.collNote(applyCollFrame(fh, f.name, s.fr))
+			f.collApply(fh, s.fr)
 		}
 		putStageBuf(s.fr.data)
 	}
@@ -313,6 +332,7 @@ func (f *File) collEmit(final bool) error {
 	fr := collFrame{
 		logicalOff: c.shipped,
 		final:      final,
+		member:     int64(f.local),
 		chunk0:     f.geo.dataOff(geoIndex, 0),
 		capacity:   f.geo.capacity(geoIndex),
 		stride:     f.geo.stride,
@@ -338,12 +358,29 @@ func (f *File) collEmit(final bool) error {
 	}
 	// Collector applying its own data inline (sync mode, or async without
 	// a background worker).
-	err := applyCollFrame(f.fh, f.name, fr)
+	err := f.collApply(f.fh, fr)
 	c.buf = c.buf[:0]
-	if err != nil {
-		f.collNote(err)
-	}
 	return err
+}
+
+// collApply writes one frame through the given handle and records the
+// member's applied high-water mark (the basis of the collector's watermark
+// commits). Any write error is noted for the deferred status and returned.
+func (f *File) collApply(fh fsio.File, fr collFrame) error {
+	if err := applyCollFrame(fh, f.name, fr); err != nil {
+		f.collNote(err)
+		return err
+	}
+	c := f.coll
+	c.mu.Lock()
+	pr := c.applied[int(fr.member)]
+	if end := fr.logicalOff + int64(len(fr.data)); end > pr.bytes {
+		pr.bytes = end
+	}
+	pr.capacity = fr.capacity
+	c.applied[int(fr.member)] = pr
+	c.mu.Unlock()
+	return nil
 }
 
 // applyCollFrame writes one frame into its member's chunk series through
@@ -411,7 +448,7 @@ func (f *File) collTake(member int, raw []byte) {
 		f.simEnqueue(fr)
 		return
 	}
-	f.collNote(applyCollFrame(f.fh, f.name, fr))
+	f.collApply(f.fh, fr)
 	putStageBuf(fr.data)
 }
 
@@ -450,7 +487,7 @@ func (f *File) collFlusher() {
 				}
 				return
 			}
-			f.collNote(applyCollFrame(f.fh, f.name, fr))
+			f.collApply(f.fh, fr)
 			putStageBuf(fr.data)
 			worked = true
 		default:
@@ -529,6 +566,7 @@ func (f *File) collClose() error {
 		// flusher goroutine finish the member drain before exiting.
 		fr := collFrame{
 			logicalOff: c.shipped, final: true,
+			member:   int64(f.local),
 			chunk0:   f.geo.dataOff(geoIndex, 0),
 			capacity: f.geo.capacity(geoIndex),
 			stride:   f.geo.stride,
@@ -581,6 +619,98 @@ func (f *File) collClose() error {
 	}
 	c.releaseBufs()
 	return err
+}
+
+// collCommitWatermarks publishes watermarks for the member data a
+// collector has applied so far (Options.Watermarks). The collector is the
+// only rank of its group that touches the physical file, so it is also the
+// only one that can vouch for durability: it snapshots the applied
+// high-water marks, syncs the data file, writes the commit cells, and
+// syncs the sidecar — the same ordering a direct writer observes. With
+// final=true (Close) every committed block is sealed. Members without wm
+// state (non-collectors) and non-watermarked handles are a no-op.
+func (f *File) collCommitWatermarks(final bool) error {
+	if f.wm == nil || !f.collLead {
+		return nil
+	}
+	c := f.coll
+	c.mu.Lock()
+	snap := make(map[int]collProgress, len(c.applied))
+	for m, pr := range c.applied {
+		snap[m] = pr
+	}
+	c.mu.Unlock()
+	if final {
+		// Members that never shipped payload bytes still close with one
+		// empty sealed block (collFinishBytes semantics).
+		for _, m := range append([]int{f.local}, c.members...) {
+			if _, ok := snap[m]; !ok {
+				snap[m] = collProgress{bytes: 0, capacity: f.geo.capacity(geoIndex)}
+			}
+		}
+	}
+	wrote := false
+	synced := false
+	for m, pr := range snap {
+		if !final && pr.bytes == c.wmTotals[m] {
+			continue
+		}
+		if !synced {
+			// One data sync covers every cell of this commit round.
+			if err := f.fh.Sync(); err != nil {
+				return err
+			}
+			synced = true
+		}
+		w, err := f.wmCommitTotal(m, pr.bytes, pr.capacity, final)
+		if err != nil {
+			return err
+		}
+		c.wmTotals[m] = pr.bytes
+		wrote = wrote || w
+	}
+	if !wrote {
+		return nil
+	}
+	return f.wm.sync()
+}
+
+// wmCommitTotal derives a member's per-block commit cells from its applied
+// logical byte total, mirroring collFinishBytes' chunk arithmetic: full
+// blocks of `capacity` bytes, then the remainder. Only blocks at or past
+// the previously committed total are rewritten. A block is sealed when it
+// is full (no more bytes can enter it) or when the commit is final.
+func (f *File) wmCommitTotal(member int, total, capacity int64, final bool) (bool, error) {
+	if capacity <= 0 {
+		return false, nil
+	}
+	prev := f.coll.wmTotals[member]
+	start := int64(0)
+	if prev > 0 {
+		start = (prev - 1) / capacity // the previously open (or just-filled) block
+	}
+	wrote := false
+	for b := start; ; b++ {
+		bytes := total - b*capacity
+		if bytes > capacity {
+			bytes = capacity
+		}
+		if bytes < 0 {
+			bytes = 0
+		}
+		if bytes == 0 && b > 0 && !(final && b == start) {
+			break
+		}
+		sealed := bytes == capacity || final
+		if err := f.wm.commit(member, int(b), bytes, sealed); err != nil {
+			return wrote, err
+		}
+		wrote = true
+		if bytes < capacity {
+			break
+		}
+	}
+	return wrote, nil
 }
 
 // releaseBufs returns the staging double-buffers to the shared pool once

@@ -57,6 +57,7 @@ const (
 // Flag bits stored in metablock 1.
 const (
 	flagChunkHeaders uint64 = 1 << 0
+	flagWatermarks   uint64 = 1 << 1 // writers publish chunk-commit watermarks (watermark.go)
 )
 
 // ErrCorrupt is wrapped by parse errors on damaged multifiles.

@@ -115,6 +115,16 @@ type Options struct {
 	// memory in flight per member.
 	AsyncFlushBytes int64
 
+	// Watermarks makes writers publish per-rank chunk-commit watermarks
+	// into a per-segment sidecar file ("<segment>.wmk", see watermark.go):
+	// on every Flush the data is synced first and a small commit record is
+	// made durable afterwards, so readers can safely tail the multifile
+	// while it is still being written (Follow, TailLayout, serve.NewTail)
+	// without ever observing torn records. Close publishes a final sealed
+	// commit. Only supported on parallel write handles (ParOpen); the
+	// serial Create rejects it.
+	Watermarks bool
+
 	// BufferSize enables buffered staging I/O on the direct path (see
 	// buffer.go): write-behind coalesces small Writes into a staging
 	// buffer flushed in FS-block-aligned extents (at buffer-full, chunk
@@ -214,6 +224,9 @@ func (o *Options) flags() uint64 {
 	var f uint64
 	if o.ChunkHeaders {
 		f |= flagChunkHeaders
+	}
+	if o.Watermarks {
+		f |= flagWatermarks
 	}
 	return f
 }

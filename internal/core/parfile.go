@@ -45,6 +45,16 @@ type File struct {
 	pos        int64   // position within the current chunk's data area
 	blockBytes []int64 // bytes written per block (index ≤ curBlock)
 
+	// Chunk-commit watermark state (Options.Watermarks; see watermark.go).
+	// wm is armed on every rank that touches the physical file (direct
+	// writers and collective collectors); collective members publish
+	// through their collector instead. wmSealedTo counts the blocks
+	// already committed as sealed, wmOpenBytes the last committed byte
+	// count of the open block.
+	wm          *wmWriter
+	wmSealedTo  int
+	wmOpenBytes int64
+
 	// Read state.
 	readBytes []int64 // bytes available per block (from metablock 2)
 
@@ -195,6 +205,21 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 				fh.Close()
 			}
 		}
+		if status == 0 && o.Watermarks {
+			// Tail readers parse the segment header while the file is still
+			// being written, so it must be durable before any commit is; the
+			// sidecar must exist (with a durable header) before the scatter
+			// releases the other ranks to open it.
+			if serr := fh.Sync(); serr != nil {
+				status = 5
+				fh.Close()
+			} else if wfh, werr := createWM(fsys, name, filenum, lcomm.Size()); werr != nil {
+				status = 5
+				fh.Close()
+			} else {
+				f.wm = newWMWriter(wfh, lcomm.Size())
+			}
+		}
 		if status == 0 {
 			f.fh = fh
 			f.geo = newGeometry(h)
@@ -225,6 +250,10 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 		if f.fh != nil {
 			f.fh.Close()
 		}
+		if f.wm != nil {
+			f.wm.close()
+			f.wm = nil
+		}
 		return nil, fmt.Errorf("sion: ParOpen %s for write failed (status %d; invalid chunk size or create error)", name, mine[0])
 	}
 	group := int(mine[5])
@@ -248,6 +277,15 @@ func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Optio
 				return nil, fmt.Errorf("sion: ParOpen %s: opening physical file: %w", name, err)
 			}
 			f.fh = fh
+			if o.Watermarks {
+				// The master created the sidecar before the scatter, so it
+				// exists by the time any non-master gets here.
+				wfh, err := fsys.OpenRW(wmName(name, filenum))
+				if err != nil {
+					return nil, fmt.Errorf("sion: ParOpen %s: opening watermark sidecar: %w", name, err)
+				}
+				f.wm = newWMWriter(wfh, lcomm.Size())
+			}
 		}
 	}
 	f.blockBytes = []int64{0}
@@ -722,12 +760,22 @@ func (f *File) Flush() error {
 		return err
 	}
 	if f.collectiveEnabled() {
-		return f.collFlush()
+		if err := f.collFlush(); err != nil {
+			return err
+		}
+		// A collector additionally publishes watermarks for the member
+		// data its flusher has applied so far (no-op without Watermarks).
+		return f.collCommitWatermarks(false)
 	}
 	if err := f.stageFlush(); err != nil {
 		return err
 	}
-	return f.fh.Sync()
+	if err := f.fh.Sync(); err != nil {
+		return err
+	}
+	// Commit ordering: the data sync above precedes the watermark cells,
+	// which precede the sidecar sync inside wmCommitProgress.
+	return f.wmCommitProgress(false)
 }
 
 // --- Close ------------------------------------------------------------------
@@ -748,6 +796,9 @@ func (f *File) Close() error {
 		if err := f.collClose(); err != nil {
 			firstErr = err
 		}
+		if err := f.collCommitWatermarks(true); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	} else if f.mode == WriteMode {
 		if err := f.stageFlush(); err != nil {
 			firstErr = err
@@ -755,6 +806,15 @@ func (f *File) Close() error {
 		f.blockBytes[f.curBlock] = f.pos
 		if err := f.sealBlock(f.curBlock, f.pos); err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if f.wm != nil {
+			// Final sealed commit: data durable first, then the cells.
+			if err := f.fh.Sync(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.wmCommitProgress(true); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
 	f.dropStaging()
@@ -782,6 +842,12 @@ func (f *File) Close() error {
 				firstErr = err
 			}
 		}
+	}
+	if f.wm != nil {
+		if err := f.wm.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		f.wm = nil
 	}
 	// Collective completion (both modes), plus a global barrier in write
 	// mode matching sion_parclose_mpi's semantics: no task returns from a

@@ -333,3 +333,141 @@ func TestPropertyRoundTripModes(t *testing.T) {
 		})
 	}
 }
+
+// TestPropertyLiveTail extends the round-trip property to live-tail
+// interleavings: writers with Options.Watermarks flush at random points
+// and probe their own stream through Follow after every flush. A direct
+// writer's committed frontier must equal exactly the bytes flushed (never
+// uncommitted bytes); a collective writer's must never exceed the bytes
+// written; and in both cases every committed byte must match the payload
+// prefix. After Close, Follow must load finalized and return the whole
+// payload with io.EOF.
+func TestPropertyLiveTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for iter := 0; iter < 8; iter++ {
+		n := 2 + rng.Intn(5)
+		nfiles := 1 + rng.Intn(2)
+		if nfiles > n {
+			nfiles = n
+		}
+		chunk := int64(64 + rng.Intn(700))
+		fsblk := int64(64 << rng.Intn(3))
+		bufSize := bufSizeChoices(rng)
+		group := 0
+		async := false
+		if rng.Intn(3) == 0 { // some iterations go collective
+			group = 2 + rng.Intn(n)
+			async = rng.Intn(2) == 0
+			bufSize = 0
+		}
+		sizes := make([]int, n)
+		for r := range sizes {
+			sizes[r] = rng.Intn(3 * int(alignUp(chunk, fsblk)))
+		}
+		pieceSeed := rng.Int63()
+
+		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d fsblk=%d g=%d async=%v buf=%d",
+			iter, n, nfiles, chunk, fsblk, group, async, bufSize)
+		t.Run(name, func(t *testing.T) {
+			fsys := fsio.NewOS(t.TempDir())
+			mpi.Run(n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "live.sion", WriteMode, &Options{
+					ChunkSize: chunk, FSBlockSize: fsblk, NFiles: nfiles,
+					CollectorGroup: group, AsyncCollective: async,
+					BufferSize: bufSize, Watermarks: true,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// ParOpen only synchronizes within per-file sub-communicators,
+				// but Follow opens every physical file: barrier so all
+				// segments exist before any rank starts probing.
+				c.Barrier()
+				payload := rankPayload(c.Rank(), sizes[c.Rank()])
+				prng := rand.New(rand.NewSource(pieceSeed + int64(c.Rank())))
+				probe := func(flushed int64, written int64) {
+					tr, err := Follow(fsys, "live.sion", c.Rank())
+					if err != nil {
+						t.Errorf("rank %d: Follow: %v", c.Rank(), err)
+						return
+					}
+					defer tr.Close()
+					committed := tr.Committed()
+					if group == 0 {
+						if committed != flushed {
+							t.Errorf("rank %d: committed %d, want exactly the %d flushed bytes",
+								c.Rank(), committed, flushed)
+						}
+					} else if committed > written {
+						t.Errorf("rank %d: committed %d exceeds %d written bytes",
+							c.Rank(), committed, written)
+					}
+					got := make([]byte, committed)
+					for off := 0; off < len(got); {
+						m, err := tr.Read(got[off:])
+						if err != nil {
+							t.Errorf("rank %d: tail read: %v", c.Rank(), err)
+							return
+						}
+						off += m
+					}
+					if !bytes.Equal(got, payload[:committed]) {
+						t.Errorf("rank %d: committed bytes differ from payload prefix", c.Rank())
+					}
+					// At the frontier a live multifile yields ErrAgain.
+					if n2, err := tr.Read(make([]byte, 1)); n2 != 0 || err != ErrAgain {
+						t.Errorf("rank %d: at frontier got (%d, %v), want (0, ErrAgain)", c.Rank(), n2, err)
+					}
+				}
+				var flushed int64
+				for off := 0; off < len(payload); {
+					end := off + 1 + prng.Intn(2*int(chunk))
+					if end > len(payload) {
+						end = len(payload)
+					}
+					if _, err := f.Write(payload[off:end]); err != nil {
+						t.Error(err)
+						return
+					}
+					off = end
+					if prng.Intn(2) == 0 {
+						if err := f.Flush(); err != nil {
+							t.Error(err)
+							return
+						}
+						flushed = int64(off)
+						probe(flushed, int64(off))
+					} else if group == 0 && bufSize == 0 && prng.Intn(2) == 0 {
+						// Between flushes nothing new may become visible.
+						probe(flushed, int64(off))
+					}
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+			})
+			// After Close every rank reads back in full, finalized.
+			for r := 0; r < n; r++ {
+				tr, err := Follow(fsys, "live.sion", r)
+				if err != nil {
+					t.Fatalf("rank %d: Follow after close: %v", r, err)
+				}
+				if !tr.Finalized() {
+					t.Fatalf("rank %d: not finalized after Close", r)
+				}
+				got, err := io.ReadAll(tr)
+				if err != nil {
+					t.Fatalf("rank %d: draining: %v", r, err)
+				}
+				if !bytes.Equal(got, rankPayload(r, sizes[r])) {
+					t.Fatalf("rank %d: finalized bytes differ", r)
+				}
+				tr.Close()
+			}
+			if err := Verify(fsys, "live.sion"); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -66,6 +66,12 @@ func Create(fsys fsio.FileSystem, name string, chunkSizes []int64, opts *Options
 	if err != nil {
 		return nil, err
 	}
+	if o.Watermarks {
+		// The serial writer has no Flush-time commit machinery; setting the
+		// header flag without it would promise tail readers a sidecar that
+		// never exists.
+		return nil, fmt.Errorf("sion: Create %s: Watermarks require a parallel write handle (ParOpen)", name)
+	}
 	fsblk := o.FSBlockSize
 	if fsblk <= 0 {
 		fsblk = fsys.BlockSize(name)

@@ -219,6 +219,37 @@ func Verify(fsys fsio.FileSystem, name string) error {
 			}
 		}
 	}
+	// With watermarks enabled, cross-check the commit sidecars against
+	// metablock 2: a watermark records bytes that were durable before the
+	// commit, so metablock 2 claiming fewer bytes means metadata was lost.
+	// A missing sidecar is fine (it may have been cleaned up after close);
+	// a present-but-unparsable one is corruption.
+	if sf.flags&flagWatermarks != 0 {
+		for k, pf := range sf.files {
+			states, werr := loadWMStates(sf.fsys, name, k, int(pf.h.NTasksLocal))
+			if werr != nil {
+				if wfh, oerr := sf.fsys.Open(wmName(name, k)); oerr != nil {
+					continue // sidecar absent
+				} else {
+					wfh.Close()
+				}
+				return fmt.Errorf("sion: Verify %s: segment %d: %w", name, k, werr)
+			}
+			for li, blocks := range states {
+				bb := pf.m2.BlockBytes[li]
+				for b, c := range blocks {
+					if b >= len(bb) || c.Bytes > bb[b] {
+						got := int64(-1)
+						if b < len(bb) {
+							got = bb[b]
+						}
+						return fmt.Errorf("%w: segment %d task %d block %d: watermark committed %d bytes, metablock 2 records %d",
+							ErrCorrupt, k, pf.h.GlobalRanks[li], b, c.Bytes, got)
+					}
+				}
+			}
+		}
+	}
 	// With chunk headers enabled, cross-check them against metablock 2.
 	if sf.flags&flagChunkHeaders != 0 {
 		for k, pf := range sf.files {

@@ -142,6 +142,7 @@ func All(scale int) []*Result {
 		Table4(scale),
 		Table5(scale),
 		Table6(scale),
+		Table7(scale),
 	}
 }
 
@@ -174,11 +175,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table5
 	case "tab6", "table6":
 		return Table6
+	case "tab7", "table7":
+		return Table7
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7"}
 }

@@ -71,6 +71,12 @@ type File interface {
 	Size() (int64, error)
 	// Truncate changes the file size.
 	Truncate(size int64) error
-	// Sync flushes buffered data (no-op where meaningless).
+	// Sync makes the file's written data durable (no-op where
+	// meaningless). Backends that model crash consistency (simfs with
+	// volatile writes) guarantee that data written before a successful
+	// Sync survives a crash, and order Syncs of different files: the
+	// watermark commit protocol (internal/core) relies on "data sync
+	// completed before commit record written" to keep committed bytes
+	// untorn.
 	Sync() error
 }

@@ -113,6 +113,23 @@ func (c *blockCache) put(k blockKey, data []byte) {
 	}
 }
 
+// invalidate drops a block from the cache if present. Tail servers call
+// it when a rank's committed frontier crosses into a new block: the block
+// that used to contain the frontier was never cached (frontier bytes
+// bypass the cache), but dropping it anyway keeps the cache provably free
+// of stale bytes even if a future caller caches more eagerly.
+func (c *blockCache) invalidate(k blockKey) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		ent := el.Value.(*cacheEntry)
+		s.lru.Remove(el)
+		delete(s.items, k)
+		s.bytes -= int64(len(ent.data))
+	}
+}
+
 // cachedBytes sums the resident bytes across shards (stats snapshot).
 func (c *blockCache) cachedBytes() int64 {
 	var total int64

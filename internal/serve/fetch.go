@@ -139,7 +139,7 @@ func (f *fetcher) serve(batch []*fetchReq) {
 			// A short read past EOF leaves the zero fill of make, matching
 			// the ReadAt contract for unwritten regions; real errors fail
 			// the whole batch.
-			err = fmt.Errorf("serve: %s: span read at %d: %w", s.layout.PhysicalName(f.file), sp.Off, rerr)
+			err = fmt.Errorf("serve: %s: span read at %d: %w", s.physNames[f.file], sp.Off, rerr)
 			break
 		}
 		s.backendReads.Add(1)

@@ -27,12 +27,20 @@
 //     ReadLogicalAt, key-value lookups via sion.NewKeyReaderFrom) over
 //     the shared cache.
 //
-// Consistency caveat: New snapshots the multifile metadata once and the
-// cache assumes the data is immutable. Serving a multifile that is still
-// being written is out of scope — open it only after the writers' Close.
+// Consistency: New snapshots the multifile metadata once and the cache
+// assumes the data is immutable — open it only after the writers' Close.
+// For a multifile that is still being written there is NewTail: built on
+// the writer-side watermark sidecars (sion.TailLayout), it serves only
+// bytes below each rank's committed watermark, reads the partially
+// committed frontier block around the cache (so the cache never holds
+// bytes that may still change), and invalidates frontier blocks as
+// commits advance. Sessions (Tail) return sion.ErrAgain at the watermark
+// and io.EOF once the multifile finalizes; Follow turns that into a
+// bounded-lag polling loop.
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -43,6 +51,13 @@ import (
 	sion "repro/internal/core"
 	"repro/internal/fsio"
 )
+
+// ErrServerClosed is returned (wrapped) by reads issued after Close.
+var ErrServerClosed = errors.New("serve: server is closed")
+
+// ErrAgain is returned by tail Sessions at the committed watermark while
+// the writer is still live (alias of sion.ErrAgain for convenience).
+var ErrAgain = sion.ErrAgain
 
 // Config tunes a Server. The zero value (or nil) picks the defaults.
 type Config struct {
@@ -86,6 +101,7 @@ type Stats struct {
 	Evictions     int64 // cache blocks evicted
 	CachedBytes   int64 // bytes resident in the cache now
 	HandlesOpened int64 // client sessions opened
+	TailPolls     int64 // watermark refreshes issued (tail servers)
 }
 
 // Server serves concurrent read sessions over one multifile. All methods
@@ -94,6 +110,8 @@ type Server struct {
 	mu     sync.RWMutex // readAt holds R, Close holds W
 	closed bool
 
+	name        string   // multifile base name (error messages)
+	physNames   []string // physical file paths, indexed like files
 	layout      *sion.Layout
 	files       []fsio.File
 	fetchers    []*fetcher
@@ -102,9 +120,18 @@ type Server struct {
 	maxSpanGap  int64
 	batchWindow time.Duration
 
+	// Tail mode (NewTail): the live layout and per-rank committed sizes
+	// from the last Poll. tailMu serializes all TailLayout access; no path
+	// acquires mu while holding tailMu except Close (mu.W → tailMu), so
+	// the order is acyclic.
+	tail          *sion.TailLayout
+	tailMu        sync.Mutex
+	prevCommitted []int64
+
 	hits, misses, flightHits   atomic.Int64
 	backendReads, backendBytes atomic.Int64
 	servedBytes, handles       atomic.Int64
+	tailPolls                  atomic.Int64
 }
 
 // New opens every physical file of the multifile, snapshots its layout,
@@ -114,6 +141,27 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
+	c := resolveConfig(cfg, layout.FSBlockSize())
+	s := &Server{
+		name:        name,
+		layout:      layout,
+		blockBytes:  c.BlockBytes,
+		maxSpanGap:  c.MaxSpanGap,
+		batchWindow: c.BatchWindow,
+		cache:       newBlockCache(c.CacheBytes, c.Shards),
+	}
+	for k := 0; k < layout.NumFiles(); k++ {
+		if err := s.openPhysical(fsys, layout.PhysicalName(k)); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("serve: opening physical file %d: %w", k, err)
+		}
+	}
+	return s, nil
+}
+
+// resolveConfig applies the Config defaults against the multifile's FS
+// block size (see the Config field docs).
+func resolveConfig(cfg *Config, fsblk int64) Config {
 	var c Config
 	if cfg != nil {
 		c = *cfg
@@ -122,7 +170,7 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		c.CacheBytes = 64 << 20
 	}
 	if c.BlockBytes <= 0 {
-		c.BlockBytes = layout.FSBlockSize()
+		c.BlockBytes = fsblk
 	}
 	if c.Shards <= 0 {
 		c.Shards = 16
@@ -146,26 +194,24 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 	} else if c.MaxSpanGap < 0 {
 		c.MaxSpanGap = 0
 	}
-	s := &Server{
-		layout:      layout,
-		blockBytes:  c.BlockBytes,
-		maxSpanGap:  c.MaxSpanGap,
-		batchWindow: c.BatchWindow,
-		cache:       newBlockCache(c.CacheBytes, c.Shards),
-	}
-	for k := 0; k < layout.NumFiles(); k++ {
-		fh, err := fsys.Open(layout.PhysicalName(k))
-		if err != nil {
-			s.Close()
-			return nil, fmt.Errorf("serve: opening physical file %d: %w", k, err)
-		}
-		s.files = append(s.files, fh)
-		s.fetchers = append(s.fetchers, newFetcher(s, k, fh))
-	}
-	return s, nil
+	return c
 }
 
-// Layout returns the multifile layout the server was built from.
+// openPhysical opens one physical file and starts its fetcher.
+func (s *Server) openPhysical(fsys fsio.FileSystem, path string) error {
+	fh, err := fsys.Open(path)
+	if err != nil {
+		return err
+	}
+	k := len(s.files)
+	s.files = append(s.files, fh)
+	s.physNames = append(s.physNames, path)
+	s.fetchers = append(s.fetchers, newFetcher(s, k, fh))
+	return nil
+}
+
+// Layout returns the multifile layout the server was built from (nil for
+// a tail server, whose metadata is live — see NewTail).
 func (s *Server) Layout() *sion.Layout { return s.layout }
 
 // Stats returns a snapshot of the request counters.
@@ -180,11 +226,14 @@ func (s *Server) Stats() Stats {
 		Evictions:     s.cache.evictions.Load(),
 		CachedBytes:   s.cache.cachedBytes(),
 		HandlesOpened: s.handles.Load(),
+		TailPolls:     s.tailPolls.Load(),
 	}
 }
 
-// Close stops the fetchers and closes the physical files. Handles become
-// unusable; in-flight reads finish first.
+// Close stops the fetchers and closes the physical files. It is
+// idempotent (a second Close returns nil); handles become unusable —
+// reads issued after Close fail with ErrServerClosed — and in-flight
+// reads finish first.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -201,6 +250,13 @@ func (s *Server) Close() error {
 			firstErr = err
 		}
 	}
+	if s.tail != nil {
+		s.tailMu.Lock()
+		if err := s.tail.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.tailMu.Unlock()
+	}
 	return firstErr
 }
 
@@ -210,7 +266,7 @@ func (s *Server) readAt(file int, p []byte, off int64) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
-		return fmt.Errorf("serve: %s: server is closed", s.layout.Name())
+		return fmt.Errorf("serve: %s: %w", s.name, ErrServerClosed)
 	}
 	bs := s.blockBytes
 	var missing []int64
@@ -276,6 +332,9 @@ var (
 // Open starts a read session on the logical file of writer rank `rank`.
 // It touches only the layout snapshot — no backend request is issued.
 func (s *Server) Open(rank int) (*Handle, error) {
+	if s.tail != nil {
+		return nil, fmt.Errorf("serve: %s: tail server (live multifile) — use Tail, not Open", s.name)
+	}
 	if rank < 0 || rank >= s.layout.NTasks() {
 		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", s.layout.Name(), rank, s.layout.NTasks()-1)
 	}

@@ -54,6 +54,15 @@ type FS struct {
 	used    int64 // allocated bytes
 	active  int   // files that have received writes (sets per-file token rate)
 
+	// Crash-consistency modelling (the watermark durability experiments):
+	// with volatile writes on, written content and size growth live in a
+	// per-file overlay that only Sync merges into the durable state, and
+	// reads see the durable state only (what another node would observe).
+	// failWrites injects a hard failure after that many further
+	// write/sync operations (-1 = disabled).
+	volatile   bool
+	failWrites int64
+
 	striping map[string]stripeCfg // per-directory override
 }
 
@@ -84,6 +93,8 @@ type file struct {
 	blockOwner  map[int64]int  // FS block index -> last writer task
 	written     int64          // total bytes ever written
 	dirtySize   bool           // size attribute not yet propagated (see Close)
+	vpages      map[int64][]byte // volatile-mode overlay pages (merged by Sync)
+	vsize       int64            // volatile-mode size high-water (≤ durable after Crash)
 	writerCli   map[int]bool   // client ids that wrote
 	soleWriter  int            // task id, -1 = none yet, -2 = multiple
 	removed     bool
@@ -135,6 +146,8 @@ func New(p *Profile) *FS {
 		token:    vtime.NewServer(p.Name + "/token"),
 		clients:  make(map[int]*vtime.Server),
 		striping: make(map[string]stripeCfg),
+
+		failWrites: -1,
 	}
 	fs.servers = make([]*vtime.Server, p.NServers)
 	for i := range fs.servers {
@@ -149,6 +162,37 @@ func (fs *FS) Profile() *Profile { return fs.prof }
 // SetQuota limits total allocated bytes; writes beyond it fail with
 // fsio.ErrQuota (failure injection for the paper's §6 robustness scenario).
 func (fs *FS) SetQuota(bytes int64) { fs.quota = bytes }
+
+// SetVolatileWrites toggles crash-consistency modelling: while on, WriteAt
+// content and size growth go into a volatile per-file overlay that becomes
+// durable only when some handle of the file calls Sync (an OS page cache:
+// one task's fsync flushes the whole file, including other tasks'
+// unsynced writes). Reads and Size always see the durable state only —
+// what a different node, or a post-crash mount, would observe. Extent
+// allocation, quota, and time metering stay eager; only content
+// durability is affected. Used by the watermark crash experiments (tab7).
+func (fs *FS) SetVolatileWrites(on bool) { fs.volatile = on }
+
+// Crash discards every unsynced volatile write, modelling a node failure:
+// files revert to their last-synced content and size. It also clears any
+// pending FailWritesAfter injection.
+func (fs *FS) Crash() {
+	for _, f := range fs.files {
+		f.vpages = nil
+		f.vsize = 0
+	}
+	fs.failWrites = -1
+}
+
+// FailWritesAfter makes the n+1-th subsequent write or sync operation (and
+// every one after it) fail with an injected error, modelling a writer
+// dying mid-operation at an arbitrary point. n < 0 disables injection.
+func (fs *FS) FailWritesAfter(n int64) {
+	if n < 0 {
+		n = -1
+	}
+	fs.failWrites = n
+}
 
 // SetStriping overrides the stripe count/size for files subsequently
 // created in directory dirName (Lustre per-directory striping, Fig. 4b).
@@ -499,6 +543,12 @@ func (h *handle) writeCommon(n, off int64) error {
 		return nil
 	}
 	fs, f := h.v.fs, h.f
+	if fs.failWrites == 0 {
+		return fmt.Errorf("simfs: %s: injected write failure", f.name)
+	}
+	if fs.failWrites > 0 {
+		fs.failWrites--
+	}
 	f.writeReqs++
 	if f.writerSet == nil {
 		f.writerSet = make(map[int]bool)
@@ -509,7 +559,11 @@ func (h *handle) writeCommon(n, off int64) error {
 		return fmt.Errorf("simfs: %s: %w", f.name, fsio.ErrQuota)
 	}
 	fs.used += f.addExtent(off, off+n)
-	if off+n > f.size {
+	if fs.volatile {
+		if off+n > f.vsize {
+			f.vsize = off + n
+		}
+	} else if off+n > f.size {
 		f.size = off + n
 	}
 	if f.written == 0 {
@@ -594,7 +648,31 @@ func (h *handle) Truncate(size int64) error {
 	return nil
 }
 
-func (h *handle) Sync() error { return h.check() }
+// Sync makes this file's pending volatile writes durable (whole-file, like
+// an OS page-cache flush: it also promotes other handles' unsynced writes
+// to the same file). Subject to FailWritesAfter injection.
+func (h *handle) Sync() error {
+	if err := h.check(); err != nil {
+		return err
+	}
+	fs, f := h.v.fs, h.f
+	if fs.failWrites == 0 {
+		return fmt.Errorf("simfs: %s: injected sync failure", f.name)
+	}
+	if fs.failWrites > 0 {
+		fs.failWrites--
+	}
+	if fs.volatile {
+		for idx, pg := range f.vpages {
+			f.pages[idx] = pg
+		}
+		f.vpages = nil
+		if f.vsize > f.size {
+			f.size = f.vsize
+		}
+	}
+	return nil
+}
 
 func (h *handle) Close() error {
 	if h.closed {
@@ -630,9 +708,12 @@ func (f *file) addExtentProbe(off, end int64) int64 {
 	return (end - off) - overlap
 }
 
-// storePages writes real content into the sparse page map.
+// storePages writes real content into the sparse page map — or, in
+// volatile mode, into the file's overlay (copy-on-first-touch from the
+// durable page) so the bytes become visible to readers only after Sync.
 func (h *handle) storePages(p []byte, off int64) {
 	f := h.f
+	volatile := h.v.fs.volatile
 	for len(p) > 0 {
 		idx := off / pageSize
 		po := off % pageSize
@@ -640,10 +721,23 @@ func (h *handle) storePages(p []byte, off int64) {
 		if c > pageSize-po {
 			c = pageSize - po
 		}
-		pg := f.pages[idx]
-		if pg == nil {
-			pg = make([]byte, pageSize)
-			f.pages[idx] = pg
+		var pg []byte
+		if volatile {
+			if f.vpages == nil {
+				f.vpages = make(map[int64][]byte)
+			}
+			if pg = f.vpages[idx]; pg == nil {
+				pg = make([]byte, pageSize)
+				if dp := f.pages[idx]; dp != nil {
+					copy(pg, dp)
+				}
+				f.vpages[idx] = pg
+			}
+		} else {
+			if pg = f.pages[idx]; pg == nil {
+				pg = make([]byte, pageSize)
+				f.pages[idx] = pg
+			}
 		}
 		copy(pg[po:po+c], p[:c])
 		p = p[c:]
