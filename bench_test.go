@@ -172,3 +172,26 @@ func BenchmarkTable7Tailing(b *testing.B) {
 		return v, "crash-trials-verified"
 	})
 }
+
+// BenchmarkTable8Chaos regenerates the transient-fault chaos table; the
+// metrics are the retries the bounded-backoff budgets absorbed across the
+// storm phases (nonzero by construction — the seeded fault storm always
+// injects — and gated lower-better, so a retry storm blowing past the
+// tolerance fails CI) and the give-ups of the phases that guarantee full
+// absorption (the retry-budget serve storm, the writer storm, and the
+// no-injection guard), which must stay exactly zero: benchjson refuses
+// any movement on a baseline-zero "giveups" metric.
+func BenchmarkTable8Chaos(b *testing.B) {
+	benchExperiment(b, "tab8", func(r *expt.Result) (float64, string) {
+		const colRetries, colGiveUps = 4, 5
+		var giveups float64
+		// Rows 1 (retry serve storm), 2 (writer storm), 4 (no-injection)
+		// promise zero give-ups; row 0 (no-retry) and row 3 (breaker
+		// drill) give up by design.
+		for _, i := range []int{1, 2, 4} {
+			giveups += lastFloat(r.Rows[i], colGiveUps)
+		}
+		b.ReportMetric(giveups, "chaos-giveups")
+		return lastFloat(r.Rows[1], colRetries) + lastFloat(r.Rows[2], colRetries), "chaos-retries"
+	})
+}

@@ -14,8 +14,12 @@
 // committed baseline and exits non-zero when any deterministic metric
 // regresses by more than -tolerance (default 25%): time-like metrics must
 // not grow past baseline×(1+tol), rate/ratio metrics where higher is
-// better must not shrink below baseline×(1−tol). Machine-dependent
-// metrics (ns/op, B/op, allocs/op, MB/s) are recorded but never gated. A
+// better must not shrink below baseline×(1−tol). Metrics whose unit ends
+// in "giveups" are zero-tolerance when their baseline is zero: the
+// resilience counters promise full absorption of injected faults, so any
+// nonzero value is a retry storm escaping its budget, not noise.
+// Machine-dependent metrics (ns/op, B/op, allocs/op, MB/s) are recorded
+// but never gated. A
 // benchmark present in the baseline but missing from the run also fails
 // (silent coverage loss); new benchmarks are reported and pass.
 //
@@ -139,12 +143,24 @@ func compare(base, cur *Doc, tol float64) []string {
 			continue
 		}
 		for unit, bv := range bb.Metrics {
-			if skipUnits[unit] || bv == 0 {
+			if skipUnits[unit] {
 				continue
 			}
 			cv, ok := cb.Metrics[unit]
 			if !ok {
 				out = append(out, fmt.Sprintf("%s: metric %q missing from this run", bb.Name, unit))
+				continue
+			}
+			if bv == 0 {
+				// A baseline of zero leaves no tolerance to scale. Most
+				// zero metrics are simply unused and stay ungated, but
+				// give-up counters are zero by design: the resilience
+				// layers promise full absorption, so any movement is a
+				// retry storm escaping its budget and fails the gate.
+				if strings.HasSuffix(unit, "giveups") && cv != 0 {
+					out = append(out, fmt.Sprintf("%s: %s moved off its zero baseline to %.4g",
+						bb.Name, unit, cv))
+				}
 				continue
 			}
 			if higherBetter(unit) {

@@ -103,3 +103,38 @@ func TestHigherBetter(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareGiveUpsZeroGate(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkTable8Chaos", map[string]float64{"chaos-retries": 25, "chaos-giveups": 0}),
+	}}
+
+	// Identical run: clean (a zero baseline on its own gates nothing).
+	if regs := compare(base, base, 0.25); len(regs) != 0 {
+		t.Fatalf("identical run flagged: %v", regs)
+	}
+
+	// Any give-up off the zero baseline fails, regardless of tolerance.
+	cur := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkTable8Chaos", map[string]float64{"chaos-retries": 25, "chaos-giveups": 1}),
+	}}
+	regs := compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "chaos-giveups") {
+		t.Fatalf("give-up off zero baseline not flagged: %v", regs)
+	}
+
+	// Other zero-baseline metrics stay ungated.
+	base.Benchmarks[0].Metrics["speedup-33Mio"] = 0
+	cur.Benchmarks[0].Metrics["chaos-giveups"] = 0
+	cur.Benchmarks[0].Metrics["speedup-33Mio"] = 5
+	if regs := compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("non-giveups zero metric gated: %v", regs)
+	}
+
+	// A retry storm beyond tolerance on the lower-better retries metric
+	// still fails through the ordinary gate.
+	cur.Benchmarks[0].Metrics["chaos-retries"] = 100
+	if regs := compare(base, cur, 0.25); len(regs) != 1 || !strings.Contains(regs[0], "chaos-retries") {
+		t.Fatalf("retry storm not flagged: %v", regs)
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sionserve [-addr :8080] [-cache-mb 64] [-block N] <multifile>
+//	sionserve [-addr :8080] [-cache-mb 64] [-block N] [-retries 4] <multifile>
 //
 // Endpoints:
 //
@@ -15,23 +15,42 @@
 //	GET /rank/<r>/keys          JSON list of the rank's record keys
 //	GET /rank/<r>/key/<k>       concatenated payload of key k's records
 //	GET /stats                  JSON cache/backend counters
+//	GET /healthz                per-physical-file circuit-breaker state;
+//	                            200 when all circuits are closed, 503 when
+//	                            any physical file is degraded
+//
+// Resilience: backend span reads retry transient faults under a bounded
+// backoff budget (-retries), and each physical file sits behind a circuit
+// breaker. While a circuit is open, reads that the cache can satisfy keep
+// succeeding; reads that would need the degraded backend answer
+// 503 Service Unavailable with a Retry-After hint.
+//
+// On SIGINT/SIGTERM the process stops accepting connections, drains
+// in-flight requests (bounded by a deadline), then closes the serve layer
+// and exits.
 //
 // The multifile must be complete (written and closed); serving a file
 // still being written is out of scope for the cache's consistency model.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/resil"
 	"repro/internal/serve"
 )
 
@@ -42,30 +61,58 @@ type server struct {
 	keys map[int]*sion.KeyReader // lazily built per rank, shared by clients
 }
 
+// shutdownTimeout bounds the in-flight request drain on SIGINT/SIGTERM.
+const shutdownTimeout = 10 * time.Second
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheMB := flag.Int64("cache-mb", 64, "block cache budget in MiB")
 	block := flag.Int64("block", 0, "cache block size in bytes (0 = the multifile's FS block size)")
+	retries := flag.Int("retries", resil.DefaultMaxAttempts,
+		"max attempts per backend read under transient faults (1 disables retries)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] <multifile>")
+		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] [-retries 4] <multifile>")
 		os.Exit(2)
 	}
 	srv, err := serve.New(fsio.NewOS(""), flag.Arg(0), &serve.Config{
 		CacheBytes: *cacheMB << 20,
 		BlockBytes: *block,
+		Retry:      &resil.Budget{MaxAttempts: *retries},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sionserve:", err)
 		os.Exit(1)
 	}
 	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
-	mux := s.mux()
+	httpSrv := &http.Server{Addr: *addr, Handler: s.mux()}
+
+	// Graceful shutdown: stop accepting, drain in-flight requests under a
+	// deadline, then release the serve layer (fetchers + file handles).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Println("sionserve: shutting down")
+		dctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(dctx)
+	}()
+
 	fmt.Printf("sionserve: serving %s (%d ranks, %d physical files) on %s\n",
 		flag.Arg(0), srv.Layout().NTasks(), srv.Layout().NumFiles(), *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
+	err = httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
 		fmt.Fprintln(os.Stderr, "sionserve:", err)
 		os.Exit(1)
+	}
+	if derr := <-done; derr != nil {
+		fmt.Fprintln(os.Stderr, "sionserve: drain:", derr)
+	}
+	if cerr := srv.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "sionserve: close:", cerr)
 	}
 }
 
@@ -76,7 +123,44 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/ranks", s.handleRanks)
 	mux.HandleFunc("/rank/", s.handleRank)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz reports per-physical-file breaker state: 200 with all
+// circuits closed, 503 while any file is degraded (load balancers can key
+// readiness off the status code alone).
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	health := s.srv.Health()
+	degraded := s.srv.Degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+		w.Header().Set("Retry-After", retryAfterSecs)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, struct {
+		Status string             `json:"status"`
+		Files  []serve.FileHealth `json:"files"`
+	}{Status: status, Files: health})
+}
+
+// retryAfterSecs is the Retry-After hint sent with degraded 503s. The
+// breaker cooldown is request-counted, so any client backoff that sheds
+// immediate retries is appropriate; a small constant keeps well-behaved
+// clients probing at a reasonable rate.
+const retryAfterSecs = "1"
+
+// httpError maps a read failure to its status: degraded backends are
+// 503 + Retry-After (temporary by construction — the circuit re-probes
+// after its cooldown), everything else stays a 500.
+func httpError(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrDegraded) {
+		w.Header().Set("Retry-After", retryAfterSecs)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
 func (s *server) handleRanks(w http.ResponseWriter, _ *http.Request) {
@@ -122,7 +206,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 2 && parts[1] == "keys":
 		kr, err := s.keyReader(rank, h)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			keyReaderError(w, err)
 			return
 		}
 		writeJSON(w, kr.Keys())
@@ -134,12 +218,12 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		}
 		kr, err := s.keyReader(rank, h)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			keyReaderError(w, err)
 			return
 		}
 		data, err := kr.ReadKey(key)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			httpError(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
@@ -185,13 +269,23 @@ func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Han
 	buf := make([]byte, n)
 	if n > 0 {
 		if _, err := h.ReadLogicalAt(buf, off); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			httpError(w, err)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 	w.Write(buf)
+}
+
+// keyReaderError distinguishes "this rank has no key records" (a client
+// mistake, 400) from a degraded backend interrupting the index scan (503).
+func keyReaderError(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrDegraded) {
+		httpError(w, err)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
 }
 
 // keyReader returns the rank's shared key index, building it on first use

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/resil"
+	"repro/internal/serve"
+	"repro/internal/simfs"
+)
+
+// newDegradableServer builds the handler table over a flaky-wrappable
+// backend with a tight breaker, returning the fault model for the test to
+// steer. Retries are disabled (MaxAttempts 1) so each failing request is
+// one breaker failure — the state walk in the test stays exact.
+func newDegradableServer(t *testing.T) (*http.ServeMux, *simfs.Flaky, *serve.Server) {
+	t.Helper()
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(tsRanks, func(c *mpi.Comm) {
+		f, err := sion.ParOpen(c, fsys, "data", sion.WriteMode, &sion.Options{ChunkSize: 2048})
+		if err != nil {
+			t.Errorf("rank %d: ParOpen: %v", c.Rank(), err)
+			return
+		}
+		if _, err := f.Write(tsPayload(c.Rank(), tsPerRank)); err != nil {
+			t.Errorf("rank %d: Write: %v", c.Rank(), err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("rank %d: Close: %v", c.Rank(), err)
+		}
+	})
+	fl := simfs.NewFlaky(simfs.FlakyConfig{Seed: 404})
+	srv, err := serve.New(fl.Wrap(fsys, nil), "data", &serve.Config{
+		Retry:            &resil.Budget{MaxAttempts: 1, Sleep: func(time.Duration) {}},
+		BreakerThreshold: 2,
+		BreakerCooldown:  3,
+	})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
+	return s.mux(), fl, srv
+}
+
+func TestHealthzOK(t *testing.T) {
+	mux := newTestServer(t)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d, want 200", rec.Code)
+	}
+	var body struct {
+		Status string `json:"status"`
+		Files  []struct {
+			File  int    `json:"file"`
+			Path  string `json:"path"`
+			State string `json:"state"`
+		} `json:"files"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body: %v", err)
+	}
+	if body.Status != "ok" || len(body.Files) == 0 {
+		t.Fatalf("healthz body %+v; want ok with files listed", body)
+	}
+	for _, f := range body.Files {
+		if f.State != "closed" {
+			t.Fatalf("file %d state %q, want closed", f.File, f.State)
+		}
+	}
+}
+
+func TestDegradedServing503(t *testing.T) {
+	mux, fl, srv := newDegradableServer(t)
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	// Warm rank 0's first bytes into the cache, then start the outage.
+	if rec := get("/rank/0?off=0&n=64"); rec.Code != http.StatusOK {
+		t.Fatalf("warm read = %d", rec.Code)
+	}
+	phys := srv.Health()[0].Path
+	fl.FailWindow(phys, fl.FileOps(phys), 1<<40)
+
+	// Two uncached reads trip the threshold-2 breaker (each is one
+	// no-retry backend failure → 500), then the circuit is open.
+	for i := 0; i < 2; i++ {
+		if rec := get("/rank/0?off=4600&n=64"); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("outage read %d = %d, want 500", i, rec.Code)
+		}
+	}
+
+	// Open circuit: misses are 503 with a Retry-After hint...
+	rec := get("/rank/0?off=4600&n=64")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded read = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("degraded 503 missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "degraded") {
+		t.Fatalf("degraded body %q does not name the condition", rec.Body.String())
+	}
+	// ...cache hits still answer 200 with the right bytes...
+	recHit := get("/rank/0?off=0&n=64")
+	if recHit.Code != http.StatusOK {
+		t.Fatalf("cached read while degraded = %d, want 200", recHit.Code)
+	}
+	want, _ := io.ReadAll(recHit.Result().Body)
+	if len(want) != 64 {
+		t.Fatalf("cached read returned %d bytes", len(want))
+	}
+	// ...and /healthz flips to 503/degraded naming the open file.
+	hz := get("/healthz")
+	if hz.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /healthz = %d, want 503", hz.Code)
+	}
+	if !strings.Contains(hz.Body.String(), `"state": "open"`) {
+		t.Fatalf("healthz body %q does not show the open circuit", hz.Body.String())
+	}
+
+	// Recovery: lift the outage, walk the cooldown (one more reject
+	// already happened above — the 503 read — so two more finish it),
+	// then the probe closes the circuit and /healthz returns 200.
+	fl.ClearWindows()
+	for i := 0; srv.Health()[0].StateName != "half-open"; i++ {
+		get("/rank/0?off=4600&n=64")
+		if i > 8 {
+			t.Fatalf("cooldown never reached half-open: %+v", srv.Health())
+		}
+	}
+	if rec := get("/rank/0?off=4600&n=64"); rec.Code != http.StatusOK {
+		t.Fatalf("probe read = %d, want 200", rec.Code)
+	}
+	if hz := get("/healthz"); hz.Code != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d, want 200", hz.Code)
+	}
+}

@@ -29,7 +29,6 @@ package sion
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -60,8 +59,19 @@ const (
 	flagWatermarks   uint64 = 1 << 1 // writers publish chunk-commit watermarks (watermark.go)
 )
 
-// ErrCorrupt is wrapped by parse errors on damaged multifiles.
-var ErrCorrupt = errors.New("sion: corrupt multifile")
+// ErrCorrupt is wrapped by parse errors on damaged multifiles. Besides the
+// usual errors.Is identity, it carries a Corrupt() marker method so the
+// resilience layer (internal/resil) can classify damage structurally —
+// "the bytes arrived but fail validation, retrying re-reads the same
+// bytes" — without this package and that one importing each other.
+var ErrCorrupt error = corruptError{}
+
+type corruptError struct{}
+
+func (corruptError) Error() string { return "sion: corrupt multifile" }
+
+// Corrupt marks the error as data damage for structural classification.
+func (corruptError) Corrupt() bool { return true }
 
 // Plausibility caps applied when parsing untrusted metadata, so corrupted
 // or adversarial headers produce ErrCorrupt instead of absurd allocations

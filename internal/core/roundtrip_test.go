@@ -6,9 +6,12 @@ import (
 	"io"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/fsio"
 	"repro/internal/mpi"
+	"repro/internal/resil"
+	"repro/internal/simfs"
 )
 
 // bufSizeChoices are the staging-buffer classes the property test draws
@@ -467,6 +470,125 @@ func TestPropertyLiveTail(t *testing.T) {
 			}
 			if err := Verify(fsys, "live.sion"); err != nil {
 				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyRoundTripTransientFaults layers the resilience stack under
+// the round-trip property: the OS file system is wrapped in the seeded
+// flaky-fault lab (random per-op transient EIO/EAGAIN rate) and then in
+// the resil retry decorator, and full write/read cycles across the direct
+// and collective paths must still converge to byte identity — the library
+// code above fsio never sees a transient fault, only the policy layer
+// does. Also pins the overhead guard: the retry counters move only when
+// injection is on.
+func TestPropertyRoundTripTransientFaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	for iter := 0; iter < 6; iter++ {
+		n := 2 + rng.Intn(5)
+		nfiles := 1 + rng.Intn(2)
+		if nfiles > n {
+			nfiles = n
+		}
+		chunk := int64(64 + rng.Intn(400))
+		fsblk := int64(64 << rng.Intn(3))
+		rate := 0.02 + 0.13*rng.Float64() // 2%..15% per-op fault rate
+		group := 0
+		if rng.Intn(3) == 0 {
+			group = 2 + rng.Intn(n)
+		}
+		sizes := make([]int, n)
+		for r := range sizes {
+			sizes[r] = rng.Intn(3 * int(alignUp(chunk, fsblk)))
+		}
+		seed := uint64(rng.Int63())
+
+		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d rate=%.3f g=%d",
+			iter, n, nfiles, chunk, rate, group)
+		t.Run(name, func(t *testing.T) {
+			fl := simfs.NewFlaky(simfs.FlakyConfig{
+				Seed: seed, ReadErrProb: rate, WriteErrProb: rate, MetaErrProb: rate,
+			})
+			var ctrs resil.Counters
+			// 12 attempts: even at the 15% ceiling a give-up is a
+			// ~1e-10-per-op event, so the property is deterministic in
+			// practice while the budget stays bounded.
+			budget := resil.Budget{MaxAttempts: 12, Seed: seed, Sleep: func(time.Duration) {}}
+			fsys := resil.Wrap(fl.Wrap(fsio.NewOS(t.TempDir()), nil), budget, &ctrs)
+
+			mpi.Run(n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "flaky.sion", WriteMode, &Options{
+					ChunkSize: chunk, FSBlockSize: fsblk, NFiles: nfiles,
+					CollectorGroup: group,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				payload := rankPayload(c.Rank(), sizes[c.Rank()])
+				if _, err := f.Write(payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+			})
+			if t.Failed() {
+				return
+			}
+			if err := Verify(fsys, "flaky.sion"); err != nil {
+				t.Fatalf("Verify under faults: %v", err)
+			}
+			mpi.Run(n, func(c *mpi.Comm) {
+				r, err := ParOpen(c, fsys, "flaky.sion", ReadMode, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer r.Close()
+				payload := rankPayload(c.Rank(), sizes[c.Rank()])
+				got := make([]byte, len(payload))
+				if len(got) > 0 {
+					if _, err := io.ReadFull(r, got); err != nil {
+						t.Errorf("rank %d: %v", c.Rank(), err)
+						return
+					}
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("rank %d: bytes differ under fault rate %.3f", c.Rank(), rate)
+				}
+			})
+			s := ctrs.Snapshot()
+			if s.GiveUps != 0 {
+				t.Fatalf("12-attempt budget gave up %d times at rate %.3f", s.GiveUps, rate)
+			}
+			if fl.Stats().Injected > 0 && s.Retries == 0 {
+				t.Fatalf("faults injected (%d) but nothing retried", fl.Stats().Injected)
+			}
+
+			// Overhead guard: injection off → the same cycle must record
+			// zero additional retries.
+			fl.SetEnabled(false)
+			before := ctrs.Snapshot().Retries
+			mpi.Run(n, func(c *mpi.Comm) {
+				r, err := ParOpen(c, fsys, "flaky.sion", ReadMode, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer r.Close()
+				payload := rankPayload(c.Rank(), sizes[c.Rank()])
+				got := make([]byte, len(payload))
+				if len(got) > 0 {
+					if _, err := io.ReadFull(r, got); err != nil {
+						t.Errorf("rank %d: %v", c.Rank(), err)
+					}
+				}
+			})
+			if after := ctrs.Snapshot().Retries; after != before {
+				t.Fatalf("injection off but retries moved: %d -> %d", before, after)
 			}
 		})
 	}

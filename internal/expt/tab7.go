@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"time"
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
 	"repro/internal/mpi"
+	"repro/internal/resil"
 	"repro/internal/serve"
 	"repro/internal/simfs"
 	"repro/internal/vtime"
@@ -51,20 +53,20 @@ import (
 //     them, and the repaired multifile reads back byte-identically to the
 //     committed prefix.
 const (
-	tab7Writers  = 64  // streaming phase: writer tasks
-	tab7Readers  = 8   // streaming phase: serve-backed shipper tasks
-	tab7Records  = 24  // framed records per writer
-	tab7Flush    = 4   // records per flush batch (the watermark interval)
+	tab7Writers  = 64 // streaming phase: writer tasks
+	tab7Readers  = 8  // streaming phase: serve-backed shipper tasks
+	tab7Records  = 24 // framed records per writer
+	tab7Flush    = 4  // records per flush batch (the watermark interval)
 	tab7Chunk    = int64(16) << 10
 	tab7FSBlk    = int64(1) << 10
 	tab7Step     = 1.0  // sim-seconds of compute between flush batches
 	tab7Poll     = 0.25 // reader poll interval, sim-seconds
 	tab7LagBound = 4    // max tolerated reader lag, in flush batches
 
-	tab7Trials      = 130 // crash phase: independent injected-crash trials
-	tab7CrashRanks  = 3
-	tab7CrashChunk  = int64(4096) // one FS-block-aligned block per rank
-	tab7CrashFSBlk  = int64(256)
+	tab7Trials     = 130 // crash phase: independent injected-crash trials
+	tab7CrashRanks = 3
+	tab7CrashChunk = int64(4096) // one FS-block-aligned block per rank
+	tab7CrashFSBlk = int64(256)
 )
 
 // tab7Profile is tab3's machine (Jugene, 64 KiB blocks); the in-file
@@ -254,17 +256,23 @@ func tab7Reader(c, rc *mpi.Comm, fsA, fsB *simfs.FS, nw, nr, records int,
 	rr := rc.Rank()
 	if rr == 0 {
 		// The live multifile appears when the writers' ParOpen completes;
-		// retry until it does.
-		for tries := 0; ; tries++ {
+		// retry under a bounded budget whose backoff is the poll cadence in
+		// virtual time. Any open error counts as "not servable yet" here —
+		// mid-ParOpen the reader can race file creation and see either a
+		// not-exist or a truncated header.
+		b := resil.Budget{
+			MaxAttempts: 1 << 16,
+			Sleep:       func(time.Duration) { c.Proc().AdvanceTo(c.Now() + tab7Poll) },
+		}
+		err := resil.DoWhile(b, nil, func(error) bool { return true }, func() error {
 			s, err := serve.NewTail(fsA.View(nw, nil), "live.sion", &serve.Config{CacheBytes: 1 << 20})
 			if err == nil {
 				*srvp = s
-				break
 			}
-			if tries > 1<<16 {
-				panic(fmt.Sprintf("tab7: live multifile never appeared: %v", err))
-			}
-			c.Proc().AdvanceTo(c.Now() + tab7Poll)
+			return err
+		})
+		if err != nil {
+			panic(fmt.Sprintf("tab7: live multifile never appeared: %v", err))
 		}
 	}
 	for *srvp == nil {

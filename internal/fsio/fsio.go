@@ -20,10 +20,32 @@ var ErrExist = errors.New("fsio: file already exists")
 // exceeded (used by simfs failure injection; maps from ENOSPC on the OS).
 var ErrQuota = errors.New("fsio: quota exceeded")
 
+// ErrTransient marks an error as a transient backend condition: the
+// operation failed because the file system misbehaved under load (an I/O
+// timeout, EAGAIN/EINTR, a busy server, an injected flaky fault), not
+// because the request was wrong. Backends wrap such failures so callers
+// can test with errors.Is.
+var ErrTransient = errors.New("fsio: transient backend failure")
+
 // FileSystem is the minimal parallel-file-system surface SIONlib needs:
 // create/open/stat/remove plus the file-system block size, which SIONlib
 // auto-detects to align chunks (paper §3.1: "the block size of the target
 // file system is determined automatically via the fstat() system call").
+//
+// Error contract (transient vs permanent): an operation that fails for a
+// reason that may clear on its own returns an error wrapping ErrTransient.
+// Every operation on this surface is idempotent — positional reads and
+// writes, create/open/stat/remove, sync — so a caller may safely re-issue
+// an attempt that failed transiently; internal/resil builds its retry,
+// backoff-budget, and circuit-breaker machinery on exactly this property.
+// An error that does not wrap ErrTransient is permanent for the attempted
+// operation: retrying without changing the request is pointless
+// (ErrNotExist, ErrExist, ErrQuota, corrupt data detected by a caller's
+// parser, closed or removed handles). io.EOF from short reads is likewise
+// not transient. The OS backend maps EAGAIN/EINTR/EBUSY/ETIMEDOUT/EIO to
+// ErrTransient (an EIO from a parallel file system under load is the
+// paper's canonical recoverable fault); simfs injects seeded transient
+// faults through the same sentinel (see simfs flaky-fault injection).
 type FileSystem interface {
 	// Create creates (or truncates) the named file for read/write access.
 	Create(name string) (File, error)

@@ -90,6 +90,10 @@ func mapOSErr(err error) error {
 		return errJoin(ErrExist, err)
 	case errors.Is(err, syscall.ENOSPC), errors.Is(err, syscall.EDQUOT):
 		return errJoin(ErrQuota, err)
+	case errors.Is(err, syscall.EAGAIN), errors.Is(err, syscall.EINTR),
+		errors.Is(err, syscall.EBUSY), errors.Is(err, syscall.ETIMEDOUT),
+		errors.Is(err, syscall.EIO):
+		return errJoin(ErrTransient, err)
 	default:
 		return err
 	}
@@ -109,16 +113,32 @@ type osFile os.File
 
 func (f *osFile) std() *os.File { return (*os.File)(f) }
 
-func (f *osFile) ReadAt(p []byte, off int64) (int, error)  { return f.std().ReadAt(p, off) }
-func (f *osFile) WriteAt(p []byte, off int64) (int, error) { return f.std().WriteAt(p, off) }
-func (f *osFile) Close() error                             { return f.std().Close() }
-func (f *osFile) Truncate(size int64) error                { return f.std().Truncate(size) }
-func (f *osFile) Sync() error                              { return f.std().Sync() }
+// Data-path errors run through mapOSErr too, so the FileSystem error
+// contract (transient errno conditions wrap ErrTransient) holds for reads,
+// writes, and syncs, not just for the namespace operations. io.EOF is
+// passed through untouched: short reads are part of the ReadAt contract,
+// not a failure.
+func (f *osFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.std().ReadAt(p, off)
+	if err == io.EOF {
+		return n, err
+	}
+	return n, mapOSErr(err)
+}
+
+func (f *osFile) WriteAt(p []byte, off int64) (int, error) {
+	n, err := f.std().WriteAt(p, off)
+	return n, mapOSErr(err)
+}
+
+func (f *osFile) Close() error              { return mapOSErr(f.std().Close()) }
+func (f *osFile) Truncate(size int64) error { return mapOSErr(f.std().Truncate(size)) }
+func (f *osFile) Sync() error               { return mapOSErr(f.std().Sync()) }
 
 func (f *osFile) Size() (int64, error) {
 	st, err := f.std().Stat()
 	if err != nil {
-		return 0, err
+		return 0, mapOSErr(err)
 	}
 	return st.Size(), nil
 }
@@ -160,7 +180,7 @@ func (f *osFile) ReadDiscardAt(n, off int64) (int64, error) {
 			if err == io.EOF {
 				return total, nil
 			}
-			return total, err
+			return total, mapOSErr(err)
 		}
 		if r == 0 {
 			break

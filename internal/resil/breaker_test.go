@@ -1,0 +1,122 @@
+package resil
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := NewBreaker(3, 4)
+	if b.State() != Closed {
+		t.Fatalf("new breaker state %v, want closed", b.State())
+	}
+
+	// Interleaved success resets the consecutive count.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("2 consecutive failures tripped a threshold-3 breaker")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("3rd consecutive failure did not open the circuit")
+	}
+
+	// Open: fail fast for cooldown requests, counting each reject.
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker allowed request %d", i)
+		}
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("after cooldown rejects state is %v, want half-open", b.State())
+	}
+
+	// HalfOpen: exactly one probe goes through.
+	if !b.Allow() {
+		t.Fatalf("half-open breaker rejected the probe")
+	}
+	if b.Allow() {
+		t.Fatalf("half-open breaker allowed a second concurrent probe")
+	}
+
+	// Probe fails → re-open, full cooldown again.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("failed probe left state %v, want open", b.State())
+	}
+	for i := 0; i < 4; i++ {
+		if b.Allow() {
+			t.Fatalf("re-opened breaker allowed request %d", i)
+		}
+	}
+	if !b.Allow() {
+		t.Fatalf("second half-open rejected the probe")
+	}
+
+	// Probe succeeds → closed, counters reset.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("successful probe left state %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatalf("closed breaker rejected a request")
+	}
+	snap := b.Snapshot()
+	if snap.Opens != 2 {
+		t.Fatalf("Opens = %d, want 2 (initial trip + failed probe)", snap.Opens)
+	}
+	if snap.State != Closed || snap.Fails != 0 {
+		t.Fatalf("snapshot %+v, want closed with zero fails", snap)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, -1)
+	if b.threshold != DefaultBreakerThreshold || b.cooldown != DefaultBreakerCooldown {
+		t.Fatalf("NewBreaker(0,-1) = threshold %d cooldown %d, want defaults %d/%d",
+			b.threshold, b.cooldown, DefaultBreakerThreshold, DefaultBreakerCooldown)
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines under the
+// race detector: the invariants are "no panic, no race, at most one probe
+// admitted per half-open episode, and the state is always a legal value".
+func TestBreakerConcurrent(t *testing.T) {
+	b := NewBreaker(3, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.Allow() {
+					if (g+i)%3 == 0 {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				switch s := b.State(); s {
+				case Closed, Open, HalfOpen:
+				default:
+					panic("illegal breaker state")
+				}
+				_ = b.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// The breaker must still function after the storm.
+	for b.State() != Closed {
+		if b.Allow() {
+			b.Success()
+		}
+	}
+	if !b.Allow() {
+		t.Fatalf("breaker wedged after concurrent storm")
+	}
+}

@@ -1,0 +1,226 @@
+package resil
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/fsio"
+)
+
+type corruptErr struct{ bad bool }
+
+func (e corruptErr) Error() string { return "test: corrupt" }
+func (e corruptErr) Corrupt() bool { return e.bad }
+
+func TestClassify(t *testing.T) {
+	transient := fmt.Errorf("backend: %w", fsio.ErrTransient)
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, ClassNone},
+		{"transient sentinel", fsio.ErrTransient, ClassTransient},
+		{"wrapped transient", transient, ClassTransient},
+		{"deeply wrapped transient", fmt.Errorf("a: %w", fmt.Errorf("b: %w", transient)), ClassTransient},
+		{"not exist", fsio.ErrNotExist, ClassPermanent},
+		{"wrapped not exist", fmt.Errorf("open: %w", fsio.ErrNotExist), ClassPermanent},
+		{"exists", fsio.ErrExist, ClassPermanent},
+		{"quota", fsio.ErrQuota, ClassPermanent},
+		{"eof", io.EOF, ClassPermanent},
+		{"unexpected eof", io.ErrUnexpectedEOF, ClassPermanent},
+		{"plain", errors.New("boom"), ClassPermanent},
+		{"corrupt marker", corruptErr{bad: true}, ClassCorrupt},
+		{"wrapped corrupt", fmt.Errorf("parse: %w", corruptErr{bad: true}), ClassCorrupt},
+		{"corrupt marker false", corruptErr{bad: false}, ClassPermanent},
+		{"corrupt beats transient", fmt.Errorf("%w: %w", corruptErr{bad: true}, fsio.ErrTransient), ClassCorrupt},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Classify(tc.err); got != tc.want {
+				t.Fatalf("Classify(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassNone: "none", ClassTransient: "transient",
+		ClassPermanent: "permanent", ClassCorrupt: "corrupt",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+// instrumentedSleep collects the backoff schedule instead of sleeping.
+func instrumentedSleep(delays *[]time.Duration) func(time.Duration) {
+	return func(d time.Duration) { *delays = append(*delays, d) }
+}
+
+func TestDoSucceedsAfterTransients(t *testing.T) {
+	var delays []time.Duration
+	var ctrs Counters
+	calls := 0
+	err := Do(Budget{Seed: 1, Sleep: instrumentedSleep(&delays)}, &ctrs, func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flap %d: %w", calls, fsio.ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Fatalf("calls=%d delays=%v; want 3 calls, 2 delays", calls, delays)
+	}
+	s := ctrs.Snapshot()
+	if s.Ops != 1 || s.Retries != 2 || s.GiveUps != 0 {
+		t.Fatalf("counters %+v; want Ops=1 Retries=2 GiveUps=0", s)
+	}
+	// Backoff grows: second delay larger than first (jitter is ±20%,
+	// multiplier 2, so growth dominates).
+	if delays[1] <= delays[0] {
+		t.Fatalf("backoff did not grow: %v", delays)
+	}
+}
+
+func TestDoGivesUpAfterBudget(t *testing.T) {
+	var ctrs Counters
+	calls := 0
+	base := errors.New("still down")
+	err := Do(Budget{MaxAttempts: 3, Seed: 2, Sleep: func(time.Duration) {}}, &ctrs, func() error {
+		calls++
+		return fmt.Errorf("%w: %w", fsio.ErrTransient, base)
+	})
+	if err == nil || !errors.Is(err, fsio.ErrTransient) || !errors.Is(err, base) {
+		t.Fatalf("give-up error %v must keep the cause chain", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	s := ctrs.Snapshot()
+	if s.GiveUps != 1 || s.Retries != 2 {
+		t.Fatalf("counters %+v; want GiveUps=1 Retries=2", s)
+	}
+}
+
+func TestDoPermanentErrorNotRetried(t *testing.T) {
+	var ctrs Counters
+	calls := 0
+	err := Do(Budget{Seed: 3}, &ctrs, func() error {
+		calls++
+		return fsio.ErrNotExist
+	})
+	if !errors.Is(err, fsio.ErrNotExist) {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls-1)
+	}
+	s := ctrs.Snapshot()
+	if s.Retries != 0 || s.GiveUps != 0 {
+		t.Fatalf("counters %+v; permanent failure is not a give-up", s)
+	}
+}
+
+func TestDoCorruptErrorNotRetried(t *testing.T) {
+	calls := 0
+	err := Do(Budget{Seed: 4}, nil, func() error {
+		calls++
+		return fmt.Errorf("frame: %w", corruptErr{bad: true})
+	})
+	var cm interface{ Corrupt() bool }
+	if !errors.As(err, &cm) {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("corrupt error retried %d times", calls-1)
+	}
+}
+
+func TestDoTotalDeadline(t *testing.T) {
+	var delays []time.Duration
+	var ctrs Counters
+	calls := 0
+	// Base 10ms doubling with 100 attempts allowed, but only 25ms total:
+	// sleeps 10ms, 20ms would breach 25ms → give up after 2 calls.
+	err := Do(Budget{
+		MaxAttempts: 100, BaseDelay: 10 * time.Millisecond, Jitter: -1,
+		Total: 25 * time.Millisecond, Sleep: instrumentedSleep(&delays),
+	}, &ctrs, func() error {
+		calls++
+		return fsio.ErrTransient
+	})
+	if err == nil {
+		t.Fatal("Do succeeded under permanent transient failure")
+	}
+	if calls != 2 || len(delays) != 1 || delays[0] != 10*time.Millisecond {
+		t.Fatalf("calls=%d delays=%v; want 2 calls, one 10ms delay", calls, delays)
+	}
+	if ctrs.GiveUps.Load() != 1 {
+		t.Fatalf("GiveUps = %d, want 1", ctrs.GiveUps.Load())
+	}
+}
+
+func TestDoJitterDeterministicFromSeed(t *testing.T) {
+	run := func(seed uint64) []time.Duration {
+		var delays []time.Duration
+		_ = Do(Budget{MaxAttempts: 6, Seed: seed, Sleep: instrumentedSleep(&delays)}, nil, func() error {
+			return fsio.ErrTransient
+		})
+		return delays
+	}
+	a, b, c := run(7), run(7), run(8)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatalf("different seeds, identical schedules: %v", a)
+	}
+	// Delays stay within the configured cap (+jitter headroom).
+	for _, d := range a {
+		if d > time.Duration(float64(DefaultMaxDelay)*(1+DefaultJitter)) {
+			t.Fatalf("delay %v exceeds jittered cap", d)
+		}
+	}
+}
+
+func TestDoWhileCustomPredicate(t *testing.T) {
+	// tab7's shape: wait for a file another task will create. ErrNotExist
+	// is permanent for Do but retryable for this wait.
+	calls := 0
+	err := DoWhile(Budget{MaxAttempts: 10, Seed: 5, Sleep: func(time.Duration) {}}, nil,
+		func(err error) bool { return errors.Is(err, fsio.ErrNotExist) },
+		func() error {
+			calls++
+			if calls < 4 {
+				return fsio.ErrNotExist
+			}
+			return nil
+		})
+	if err != nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d; want success on 4th call", err, calls)
+	}
+}
+
+func TestBudgetDefaults(t *testing.T) {
+	var b Budget
+	if b.maxAttempts() != DefaultMaxAttempts || b.baseDelay() != DefaultBaseDelay ||
+		b.maxDelay() != DefaultMaxDelay || b.multiplier() != DefaultMultiplier ||
+		b.jitter() != DefaultJitter {
+		t.Fatalf("zero Budget does not resolve to documented defaults")
+	}
+	if (Budget{Jitter: -1}).jitter() != 0 {
+		t.Fatalf("negative Jitter must disable jitter")
+	}
+	if (Budget{Jitter: 2}).jitter() != 1 {
+		t.Fatalf("Jitter must clamp to 1")
+	}
+}

@@ -1,12 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
-	"io"
 	"time"
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/resil"
 )
 
 // Per-physical-file fetcher: the only entity that issues backend reads for
@@ -26,9 +27,11 @@ type fetchReq struct {
 	reply  chan fetchRes
 }
 
-// fetchRes answers every request of one batch: data maps each requested
-// block to its full cache-block payload (shared, immutable). A batch
-// fails or succeeds as a whole.
+// fetchRes answers one request of a batch: data maps each requested block
+// to its full cache-block payload (shared, immutable). Requests are
+// answered individually — a span failure fails only the requests whose
+// blocks it covered, so one client's doomed read does not fail the
+// neighbors batched with it.
 type fetchRes struct {
 	data map[int64][]byte
 	err  error
@@ -112,8 +115,18 @@ func (f *fetcher) collect(batch []*fetchReq) []*fetchReq {
 
 // serve materializes the union of the batch's blocks — from the cache
 // where a previous batch already fetched them (the singleflight path),
-// otherwise with one backend read per dense span — and answers every
-// request.
+// otherwise with one retried backend read per dense span — and answers
+// every request individually: a request succeeds iff all of its blocks
+// materialized, so requests fully covered by the cache keep succeeding
+// while the backend is failing or the circuit is open.
+//
+// Breaker protocol: when backend spans are needed, the batch consults the
+// file's breaker once — an open circuit fails the needy requests fast with
+// ErrDegraded (each rejection advances the breaker's cooldown clock).
+// After the spans run, the batch reports one verdict: Failure if any span
+// exhausted its retry budget on a transient fault, Success otherwise
+// (a permanent error is the backend answering, which is evidence of
+// health, not of overload).
 func (f *fetcher) serve(batch []*fetchReq) {
 	s := f.s
 	bs := s.blockBytes
@@ -132,32 +145,58 @@ func (f *fetcher) serve(batch []*fetchReq) {
 			missing = append(missing, sion.Extent{Off: b * bs, Len: bs})
 		}
 	}
-	var err error
-	for _, sp := range sion.CoalesceExtents(missing, s.maxSpanGap) {
-		buf := make([]byte, sp.End-sp.Off)
-		if _, rerr := f.fh.ReadAt(buf, sp.Off); rerr != nil && rerr != io.EOF {
-			// A short read past EOF leaves the zero fill of make, matching
-			// the ReadAt contract for unwritten regions; real errors fail
-			// the whole batch.
-			err = fmt.Errorf("serve: %s: span read at %d: %w", s.physNames[f.file], sp.Off, rerr)
-			break
-		}
-		s.backendReads.Add(1)
-		s.backendBytes.Add(sp.End - sp.Off)
-		for _, e := range sp.Extents {
-			data := buf[e.Off-sp.Off : e.Off-sp.Off+bs]
-			if len(sp.Extents) > 1 {
-				// Copy blocks out of multi-block spans so evicting one
-				// block releases its bytes instead of pinning the span.
-				data = append([]byte(nil), data...)
+	var fetchErr error // error covering the blocks that failed to materialize
+	if len(missing) > 0 {
+		br := s.breakers[f.file]
+		if br != nil && !br.Allow() {
+			fetchErr = fmt.Errorf("serve: %s: %w", s.physNames[f.file], ErrDegraded)
+		} else {
+			transientGiveUp := false
+			for _, sp := range sion.CoalesceExtents(missing, s.maxSpanGap) {
+				buf := make([]byte, sp.End-sp.Off)
+				// A short read past EOF leaves the zero fill of make,
+				// matching the ReadAt contract for unwritten regions.
+				if rerr := s.spanRead(f.fh, f.file, buf, sp.Off); rerr != nil {
+					if fetchErr == nil {
+						fetchErr = rerr
+					}
+					if resil.Classify(rerr) == resil.ClassTransient {
+						transientGiveUp = true
+					}
+					continue
+				}
+				for _, e := range sp.Extents {
+					data := buf[e.Off-sp.Off : e.Off-sp.Off+bs]
+					if len(sp.Extents) > 1 {
+						// Copy blocks out of multi-block spans so evicting one
+						// block releases its bytes instead of pinning the span.
+						data = append([]byte(nil), data...)
+					}
+					b := e.Off / bs
+					want[b] = data
+					s.cache.put(blockKey{f.file, b}, data)
+				}
 			}
-			b := e.Off / bs
-			want[b] = data
-			s.cache.put(blockKey{f.file, b}, data)
+			if br != nil {
+				if transientGiveUp {
+					br.Failure()
+				} else {
+					br.Success()
+				}
+			}
 		}
 	}
-	res := fetchRes{data: want, err: err}
 	for _, r := range batch {
+		res := fetchRes{data: want}
+		for _, b := range r.blocks {
+			if want[b] == nil {
+				res.err = fetchErr
+				if errors.Is(fetchErr, ErrDegraded) {
+					s.degraded.Add(1)
+				}
+				break
+			}
+		}
 		r.reply <- res
 	}
 }

@@ -50,10 +50,21 @@ import (
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/resil"
 )
 
 // ErrServerClosed is returned (wrapped) by reads issued after Close.
 var ErrServerClosed = errors.New("serve: server is closed")
+
+// ErrDegraded is returned (wrapped) by reads that need a backend fetch
+// from a physical file whose circuit breaker is open: the backend has
+// been failing transiently and the server is failing fast instead of
+// queueing more doomed reads behind it. Reads satisfied entirely from the
+// cache keep succeeding while a file is degraded. The condition is
+// temporary by construction — the breaker admits a half-open probe after its
+// cooldown — so clients should back off and retry (cmd/sionserve maps
+// this to 503 + Retry-After).
+var ErrDegraded = errors.New("serve: degraded: backend circuit open")
 
 // ErrAgain is returned by tail Sessions at the committed watermark while
 // the writer is still live (alias of sion.ErrAgain for convenience).
@@ -88,6 +99,25 @@ type Config struct {
 	// default 0 still batches everything queued behind an in-flight
 	// fetch, which is what matters at steady load.
 	BatchWindow time.Duration
+
+	// Retry is the backoff budget each backend span read runs under
+	// (transient failures per the fsio error contract are re-attempted;
+	// permanent ones are not). nil selects the resil defaults — 4 attempts,
+	// 2 ms base delay doubling to 100 ms, real time.Sleep. Simulations pass
+	// a Budget with a virtual-clock Sleep; a Budget with MaxAttempts 1
+	// disables retries.
+	Retry *resil.Budget
+
+	// BreakerThreshold is the number of consecutive transiently-failed
+	// fetch batches that open one physical file's circuit breaker
+	// (0 = resil.DefaultBreakerThreshold; negative disables breakers
+	// entirely).
+	BreakerThreshold int
+
+	// BreakerCooldown is the number of fail-fast rejected fetches an open
+	// breaker absorbs before admitting a half-open probe
+	// (0 = resil.DefaultBreakerCooldown).
+	BreakerCooldown int
 }
 
 // Stats is a snapshot of a Server's request counters.
@@ -102,6 +132,10 @@ type Stats struct {
 	CachedBytes   int64 // bytes resident in the cache now
 	HandlesOpened int64 // client sessions opened
 	TailPolls     int64 // watermark refreshes issued (tail servers)
+	Retries       int64 // backend span reads re-attempted after a transient failure
+	GiveUps       int64 // span reads that exhausted their retry budget
+	Degraded      int64 // requests failed fast with ErrDegraded (breaker open)
+	BreakerOpens  int64 // circuit-open transitions across all physical files
 }
 
 // Server serves concurrent read sessions over one multifile. All methods
@@ -115,10 +149,13 @@ type Server struct {
 	layout      *sion.Layout
 	files       []fsio.File
 	fetchers    []*fetcher
+	breakers    []*resil.Breaker // per physical file; nil entries = disabled
 	cache       *blockCache
 	blockBytes  int64
 	maxSpanGap  int64
 	batchWindow time.Duration
+	retry       resil.Budget
+	breakerCfg  [2]int // resolved {threshold, cooldown}; threshold < 0 disables
 
 	// Tail mode (NewTail): the live layout and per-rank committed sizes
 	// from the last Poll. tailMu serializes all TailLayout access; no path
@@ -132,6 +169,8 @@ type Server struct {
 	backendReads, backendBytes atomic.Int64
 	servedBytes, handles       atomic.Int64
 	tailPolls                  atomic.Int64
+	retryCtrs                  resil.Counters
+	degraded                   atomic.Int64
 }
 
 // New opens every physical file of the multifile, snapshots its layout,
@@ -150,6 +189,7 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		batchWindow: c.BatchWindow,
 		cache:       newBlockCache(c.CacheBytes, c.Shards),
 	}
+	s.applyResilience(c)
 	for k := 0; k < layout.NumFiles(); k++ {
 		if err := s.openPhysical(fsys, layout.PhysicalName(k)); err != nil {
 			s.Close()
@@ -197,7 +237,16 @@ func resolveConfig(cfg *Config, fsblk int64) Config {
 	return c
 }
 
-// openPhysical opens one physical file and starts its fetcher.
+// applyResilience installs the resolved retry budget and breaker knobs.
+func (s *Server) applyResilience(c Config) {
+	if c.Retry != nil {
+		s.retry = *c.Retry
+	}
+	s.breakerCfg = [2]int{c.BreakerThreshold, c.BreakerCooldown}
+}
+
+// openPhysical opens one physical file and starts its fetcher (plus its
+// circuit breaker unless breakers are disabled).
 func (s *Server) openPhysical(fsys fsio.FileSystem, path string) error {
 	fh, err := fsys.Open(path)
 	if err != nil {
@@ -206,7 +255,31 @@ func (s *Server) openPhysical(fsys fsio.FileSystem, path string) error {
 	k := len(s.files)
 	s.files = append(s.files, fh)
 	s.physNames = append(s.physNames, path)
+	var br *resil.Breaker
+	if s.breakerCfg[0] >= 0 {
+		br = resil.NewBreaker(s.breakerCfg[0], s.breakerCfg[1])
+	}
+	s.breakers = append(s.breakers, br)
 	s.fetchers = append(s.fetchers, newFetcher(s, k, fh))
+	return nil
+}
+
+// spanRead issues one backend read of [off, off+len(buf)) on physical file
+// `file` under the server's retry budget, counting every attempt as a
+// backend read. io.EOF is a legal short read (the caller keeps the zero
+// fill), not a failure.
+func (s *Server) spanRead(fh fsio.File, file int, buf []byte, off int64) error {
+	err := resil.Do(s.retry, &s.retryCtrs, func() error {
+		s.backendReads.Add(1)
+		s.backendBytes.Add(int64(len(buf)))
+		if _, rerr := fh.ReadAt(buf, off); rerr != nil && rerr != io.EOF {
+			return rerr
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serve: %s: span read at %d: %w", s.physNames[file], off, err)
+	}
 	return nil
 }
 
@@ -227,7 +300,60 @@ func (s *Server) Stats() Stats {
 		CachedBytes:   s.cache.cachedBytes(),
 		HandlesOpened: s.handles.Load(),
 		TailPolls:     s.tailPolls.Load(),
+		Retries:       s.retryCtrs.Retries.Load(),
+		GiveUps:       s.retryCtrs.GiveUps.Load(),
+		Degraded:      s.degraded.Load(),
+		BreakerOpens:  s.breakerOpens(),
 	}
+}
+
+func (s *Server) breakerOpens() int64 {
+	var n int64
+	for _, br := range s.breakers {
+		if br != nil {
+			n += br.Snapshot().Opens
+		}
+	}
+	return n
+}
+
+// FileHealth reports the breaker condition of one physical file.
+type FileHealth struct {
+	File  int                `json:"file"`
+	Path  string             `json:"path"`
+	State resil.BreakerState `json:"-"`
+	// StateName is State rendered for JSON health endpoints.
+	StateName string `json:"state"`
+	// Opens counts circuit-open transitions over the server's life.
+	Opens int64 `json:"opens"`
+}
+
+// Health reports per-physical-file breaker state, the substance of
+// cmd/sionserve's /healthz endpoint. With breakers disabled every file
+// reports closed.
+func (s *Server) Health() []FileHealth {
+	out := make([]FileHealth, len(s.physNames))
+	for k, path := range s.physNames {
+		h := FileHealth{File: k, Path: path}
+		if br := s.breakers[k]; br != nil {
+			snap := br.Snapshot()
+			h.State, h.Opens = snap.State, snap.Opens
+		}
+		h.StateName = h.State.String()
+		out[k] = h
+	}
+	return out
+}
+
+// Degraded reports whether any physical file's breaker is currently not
+// closed (the server is refusing some backend fetches).
+func (s *Server) Degraded() bool {
+	for _, br := range s.breakers {
+		if br != nil && br.State() != resil.Closed {
+			return true
+		}
+	}
+	return false
 }
 
 // Close stops the fetchers and closes the physical files. It is

@@ -53,6 +53,7 @@ func NewTail(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		batchWindow:   c.BatchWindow,
 		cache:         newBlockCache(c.CacheBytes, c.Shards),
 	}
+	s.applyResilience(c)
 	for r := range s.prevCommitted {
 		s.prevCommitted[r] = t.CommittedSize(r)
 	}
@@ -236,12 +237,13 @@ func (s *Server) readTailSpan(file int, p []byte, off, uncachedFrom int64) error
 		if s.closed {
 			return fmt.Errorf("serve: %s: %w", s.name, ErrServerClosed)
 		}
+		// Frontier reads run under the same retry budget as cached span
+		// reads (spanRead), so a transient fault at the watermark does not
+		// surface to the tail session.
 		buf := p[uncachedFrom-off:]
-		if _, err := s.files[file].ReadAt(buf, uncachedFrom); err != nil && err != io.EOF {
-			return fmt.Errorf("serve: %s: frontier read at %d: %w", s.physNames[file], uncachedFrom, err)
+		if err := s.spanRead(s.files[file], file, buf, uncachedFrom); err != nil {
+			return fmt.Errorf("serve: frontier read: %w", err)
 		}
-		s.backendReads.Add(1)
-		s.backendBytes.Add(int64(len(buf)))
 	}
 	return nil
 }

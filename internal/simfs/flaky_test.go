@@ -1,0 +1,232 @@
+package simfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/fsio"
+)
+
+// flakyTrace runs a fixed op script against a fresh Flaky-wrapped FS and
+// returns a replayable transcript of which ops failed.
+func flakyTrace(t *testing.T, cfg FlakyConfig, ops int) string {
+	t.Helper()
+	fs := New(Jugene())
+	fl := NewFlaky(cfg)
+	w := fl.Wrap(fs.View(1, nil), nil)
+	out := ""
+	f, err := w.Create("a")
+	for f == nil {
+		if !errors.Is(err, fsio.ErrTransient) {
+			t.Fatalf("Create: %v", err)
+		}
+		out += "C!"
+		f, err = w.Create("a")
+	}
+	buf := []byte("payload")
+	for i := 0; i < ops; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = f.WriteAt(buf, int64(i))
+		} else {
+			_, err = f.ReadAt(buf, 0)
+		}
+		if err == nil {
+			out += "."
+		} else if errors.Is(err, fsio.ErrTransient) {
+			out += "!"
+		} else {
+			t.Fatalf("op %d: unexpected permanent error %v", i, err)
+		}
+	}
+	return out
+}
+
+func TestFlakyDeterministicFromSeed(t *testing.T) {
+	cfg := FlakyConfig{Seed: 42, ReadErrProb: 0.3, WriteErrProb: 0.3, MetaErrProb: 0.3}
+	a := flakyTrace(t, cfg, 200)
+	b := flakyTrace(t, cfg, 200)
+	if a != b {
+		t.Fatalf("same seed produced different fault schedules:\n%s\n%s", a, b)
+	}
+	c := flakyTrace(t, FlakyConfig{Seed: 43, ReadErrProb: 0.3, WriteErrProb: 0.3, MetaErrProb: 0.3}, 200)
+	if a == c {
+		t.Fatalf("different seeds produced identical 200-op fault schedules")
+	}
+	wantFails := 0
+	for _, ch := range a {
+		if ch == '!' {
+			wantFails++
+		}
+	}
+	if wantFails == 0 {
+		t.Fatalf("p=0.3 over 200 ops injected nothing: %s", a)
+	}
+}
+
+func TestFlakyZeroProbInjectsNothing(t *testing.T) {
+	fl := NewFlaky(FlakyConfig{Seed: 7})
+	fs := New(Jugene())
+	w := fl.Wrap(fs.View(1, nil), nil)
+	f, err := w.Create("clean")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := f.WriteAt([]byte{1, 2, 3}, int64(3*i)); err != nil {
+			t.Fatalf("WriteAt %d: %v", i, err)
+		}
+	}
+	st := fl.Stats()
+	if st.Injected != 0 || st.Spikes != 0 {
+		t.Fatalf("zero-prob config injected: %+v", st)
+	}
+	if st.Ops == 0 {
+		t.Fatalf("fault model was never consulted")
+	}
+}
+
+func TestFlakyDisabled(t *testing.T) {
+	fl := NewFlaky(FlakyConfig{Seed: 1, ReadErrProb: 1, WriteErrProb: 1, MetaErrProb: 1})
+	fl.SetEnabled(false)
+	fs := New(Jugene())
+	w := fl.Wrap(fs.View(1, nil), nil)
+	f, err := w.Create("off")
+	if err != nil {
+		t.Fatalf("Create with injection disabled: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("x"), 0); err != nil {
+		t.Fatalf("WriteAt with injection disabled: %v", err)
+	}
+	fl.SetEnabled(true)
+	if _, err := f.WriteAt([]byte("x"), 0); !errors.Is(err, fsio.ErrTransient) {
+		t.Fatalf("p=1 write after re-enable: got %v, want transient", err)
+	}
+}
+
+func TestFlakyFailWindow(t *testing.T) {
+	fl := NewFlaky(FlakyConfig{Seed: 9})
+	fs := New(Jugene())
+	w := fl.Wrap(fs.View(1, nil), nil)
+
+	fa, err := w.Create("a") // a: op 0
+	if err != nil {
+		t.Fatalf("Create a: %v", err)
+	}
+	fb, err := w.Create("b") // b: op 0
+	if err != nil {
+		t.Fatalf("Create b: %v", err)
+	}
+
+	// Ops 3..6 on "a" fail; "b" is untouched throughout.
+	fl.FailWindow("a", 3, 6)
+	for i := 1; ; i++ {
+		_, errA := fa.WriteAt([]byte("A"), int64(i))
+		if _, errB := fb.WriteAt([]byte("B"), int64(i)); errB != nil {
+			t.Fatalf("window on a leaked to b at op %d: %v", i, errB)
+		}
+		inWin := i >= 3 && i < 6
+		if inWin && !errors.Is(errA, fsio.ErrTransient) {
+			t.Fatalf("a op %d inside window succeeded (err=%v)", i, errA)
+		}
+		if !inWin && errA != nil {
+			t.Fatalf("a op %d outside window failed: %v", i, errA)
+		}
+		if i >= 8 {
+			break
+		}
+	}
+	if got := fl.FileOps("a"); got != 9 {
+		t.Fatalf("FileOps(a) = %d, want 9", got)
+	}
+
+	// ClearWindows lifts an active outage immediately.
+	fl.FailWindow("a", 0, 1<<40)
+	if _, err := fa.WriteAt([]byte("A"), 99); !errors.Is(err, fsio.ErrTransient) {
+		t.Fatalf("open-ended window did not fail op: %v", err)
+	}
+	fl.ClearWindows()
+	if _, err := fa.WriteAt([]byte("A"), 100); err != nil {
+		t.Fatalf("write after ClearWindows: %v", err)
+	}
+}
+
+func TestFlakyLatencySpikes(t *testing.T) {
+	fl := NewFlaky(FlakyConfig{Seed: 11, LatencyProb: 1, LatencySecs: 0.25})
+	fs := New(Jugene())
+	var slept float64
+	w := fl.Wrap(fs.View(1, nil), func(s float64) { slept += s })
+	f, err := w.Create("slow")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := f.WriteAt([]byte("z"), int64(i)); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+	}
+	// Create + 4 writes = 5 ops, each spiking 0.25s.
+	if want := 5 * 0.25; slept != want {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	if st := fl.Stats(); st.Spikes != 5 {
+		t.Fatalf("Spikes = %d, want 5", st.Spikes)
+	}
+}
+
+// TestFlakyErrorsAreTransient pins the classification contract: every
+// injected error — probability or window, any op kind — wraps
+// fsio.ErrTransient and mentions an errno flavor.
+func TestFlakyErrorsAreTransient(t *testing.T) {
+	fl := NewFlaky(FlakyConfig{Seed: 3, ReadErrProb: 1, WriteErrProb: 1, MetaErrProb: 1})
+	fs := New(Jugene())
+	w := fl.Wrap(fs.View(1, nil), nil)
+	if _, err := w.Create("x"); !errors.Is(err, fsio.ErrTransient) {
+		t.Fatalf("Create: %v not transient", err)
+	}
+	fl.SetEnabled(false)
+	f, err := w.Create("x")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	fl.SetEnabled(true)
+	cases := []struct {
+		op  string
+		err func() error
+	}{
+		{"ReadAt", func() error { _, e := f.ReadAt(make([]byte, 1), 0); return e }},
+		{"ReadDiscardAt", func() error { _, e := f.ReadDiscardAt(1, 0); return e }},
+		{"WriteAt", func() error { _, e := f.WriteAt([]byte("y"), 0); return e }},
+		{"WriteZeroAt", func() error { return f.WriteZeroAt(1, 0) }},
+		{"Truncate", func() error { return f.Truncate(4) }},
+		{"Sync", func() error { return f.Sync() }},
+		{"Size", func() error { _, e := f.Size(); return e }},
+		{"Stat", func() error { _, e := w.Stat("x"); return e }},
+		{"Remove", func() error { return w.Remove("x") }},
+	}
+	for _, tc := range cases {
+		err := tc.err()
+		if !errors.Is(err, fsio.ErrTransient) {
+			t.Errorf("%s: %v does not wrap ErrTransient", tc.op, err)
+			continue
+		}
+		msg := fmt.Sprint(err)
+		if !contains(msg, "EIO") && !contains(msg, "EAGAIN") {
+			t.Errorf("%s: error %q names no errno flavor", tc.op, msg)
+		}
+	}
+	// Close is exempt by design.
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close must not be flaky: %v", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
