@@ -195,3 +195,16 @@ func BenchmarkTable8Chaos(b *testing.B) {
 		return lastFloat(r.Rows[1], colRetries) + lastFloat(r.Rows[2], colRetries), "chaos-retries"
 	})
 }
+
+// BenchmarkTable9Cluster regenerates the clustered serving-tier table;
+// the metric is the independent-caches/cluster backend read-request
+// ratio — how much the consistent-hash ring with peer fill and hot
+// replication saves over N independent caches on the same zipfian storm.
+// Byte identity (including across join/leave churn), the bounded churn
+// tail, and seed-exact replay are asserted inside the experiment, so the
+// run fails loudly rather than reporting a bad number.
+func BenchmarkTable9Cluster(b *testing.B) {
+	benchExperiment(b, "tab9", func(r *expt.Result) (float64, string) {
+		return lastFloat(r.Rows[0], 3) / lastFloat(r.Rows[1], 3), "backend-read-reduction"
+	})
+}

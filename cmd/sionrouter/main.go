@@ -1,0 +1,362 @@
+// Command sionrouter fronts a multifile with a cluster of serve nodes
+// (internal/cluster): blocks are consistent-hashed across N in-process
+// serve instances, the hottest blocks are replicated to ring successors,
+// and nodes fill their caches from each other before touching the
+// backend — one process, but the cluster data path (ring routing, peer
+// fill, failover) that a multi-host deployment would use.
+//
+// Usage:
+//
+//	sionrouter [-addr :8080] [-nodes 3] [-cache-mb 64] [-block N]
+//	           [-retries 4] [-replicate 2] [-hot-min 64] [-vnodes 64]
+//	           <multifile>
+//
+// Endpoints:
+//
+//	GET  /ranks                  JSON layout summary (tasks, files, sizes)
+//	GET  /rank/<r>               the rank's whole logical stream
+//	GET  /rank/<r>?off=O&n=N     N bytes from logical offset O
+//	GET  /stats                  JSON cluster + per-node counters
+//	GET  /healthz                aggregated breaker state; 503 only when
+//	                             every node is degraded (single nodes are
+//	                             routed around, not surfaced)
+//	GET  /cluster                membership and hot-set summary
+//	POST /cluster/join?id=<id>   add a serve node to the ring
+//	POST /cluster/leave?id=<id>  drain a node off the ring
+//	POST /cluster/rebalance      replicate the current hot set now
+//
+// Reads that lose every ring replica answer 503 + Retry-After, mirroring
+// sionserve's degraded contract. A hot-set rebalance also runs on a
+// background ticker.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/fsio"
+	"repro/internal/resil"
+	"repro/internal/serve"
+)
+
+// router carries the cluster plus everything needed to admit new nodes
+// at runtime (join re-uses the CLI's backend and per-node serve config).
+type router struct {
+	c    *cluster.Cluster
+	fsys fsio.FileSystem
+	name string
+	scfg *serve.Config
+}
+
+// logf reports response-write failures — errors after the status line is
+// committed, which can no longer become an HTTP error for the client.
+// Swappable so handler tests can capture it.
+var logf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+const (
+	shutdownTimeout = 10 * time.Second
+	rebalanceEvery  = 5 * time.Second
+	retryAfterSecs  = "1"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.Int("nodes", 3, "serve nodes to start on the ring")
+	cacheMB := flag.Int64("cache-mb", 64, "per-node block cache budget in MiB")
+	block := flag.Int64("block", 0, "cache block size in bytes (0 = the multifile's FS block size)")
+	retries := flag.Int("retries", resil.DefaultMaxAttempts,
+		"max attempts per backend read under transient faults (1 disables retries)")
+	replicate := flag.Int("replicate", 2, "ring replicas per hot block, primary included (1 disables)")
+	hotMin := flag.Int64("hot-min", 64, "cache hits at which a block counts as hot")
+	vnodes := flag.Int("vnodes", 64, "virtual ring points per node")
+	flag.Parse()
+	if flag.NArg() != 1 || *nodes < 1 {
+		fmt.Fprintln(os.Stderr, "usage: sionrouter [flags] <multifile> (see -h)")
+		os.Exit(2)
+	}
+
+	rt := &router{
+		c: cluster.New(&cluster.Config{
+			VNodes:       *vnodes,
+			ReplicateHot: *replicate,
+			HotMinHits:   *hotMin,
+		}),
+		fsys: fsio.NewOS(""),
+		name: flag.Arg(0),
+		scfg: &serve.Config{
+			CacheBytes: *cacheMB << 20,
+			BlockBytes: *block,
+			Retry:      &resil.Budget{MaxAttempts: *retries},
+		},
+	}
+	for i := 1; i <= *nodes; i++ {
+		if _, err := rt.c.Join(fmt.Sprintf("n%d", i), rt.fsys, rt.name, rt.scfg); err != nil {
+			fmt.Fprintln(os.Stderr, "sionrouter:", err)
+			os.Exit(1)
+		}
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.mux()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Hot blocks drift with the workload; fold fresh LRU hit reports into
+	// ring replicas on a fixed cadence (and on demand via the endpoint).
+	go func() {
+		t := time.NewTicker(rebalanceEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				rt.c.RebalanceHot()
+			}
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Println("sionrouter: shutting down")
+		dctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		defer cancel()
+		done <- httpSrv.Shutdown(dctx)
+	}()
+
+	fmt.Printf("sionrouter: serving %s (%d ranks, %d nodes) on %s\n",
+		rt.name, rt.c.Layout().NTasks(), *nodes, *addr)
+	err := httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		rt.c.Close()
+		fmt.Fprintln(os.Stderr, "sionrouter:", err)
+		os.Exit(1)
+	}
+	if derr := <-done; derr != nil {
+		fmt.Fprintln(os.Stderr, "sionrouter: drain:", derr)
+	}
+	if cerr := rt.c.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "sionrouter: close:", cerr)
+	}
+}
+
+// mux wires the handler table (split out so tests drive the handlers
+// through httptest without a listener).
+func (rt *router) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ranks", rt.handleRanks)
+	mux.HandleFunc("/rank/", rt.handleRank)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/cluster", rt.handleCluster)
+	mux.HandleFunc("/cluster/", rt.handleClusterOp)
+	return mux
+}
+
+func (rt *router) handleRanks(w http.ResponseWriter, _ *http.Request) {
+	l := rt.c.Layout()
+	type rankInfo struct {
+		Rank  int   `json:"rank"`
+		File  int   `json:"file"`
+		Bytes int64 `json:"bytes"`
+	}
+	out := struct {
+		Name  string     `json:"name"`
+		Tasks int        `json:"tasks"`
+		Files int        `json:"files"`
+		FSBlk int64      `json:"fs_block_size"`
+		Ranks []rankInfo `json:"ranks"`
+	}{Name: l.Name(), Tasks: l.NTasks(), Files: l.NumFiles(), FSBlk: l.FSBlockSize()}
+	for g, loc := range l.Mapping() {
+		out.Ranks = append(out.Ranks, rankInfo{Rank: g, File: int(loc.File), Bytes: l.RankSize(g)})
+	}
+	writeJSON(w, out)
+}
+
+func (rt *router) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, rt.c.Stats())
+}
+
+// handleHealthz aggregates the nodes' breaker state. Unlike a single
+// sionserve, one degraded node is not a degraded service — the ring
+// routes around it — so the 503 fires only when the whole cluster is.
+func (rt *router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	degraded := rt.c.Degraded()
+	status := "ok"
+	if degraded {
+		status = "degraded"
+		w.Header().Set("Retry-After", retryAfterSecs)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, struct {
+		Status string               `json:"status"`
+		Nodes  []cluster.NodeHealth `json:"nodes"`
+	}{Status: status, Nodes: rt.c.Health()})
+}
+
+// handleCluster summarizes membership and the tracked hot set.
+func (rt *router) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Nodes      []string `json:"nodes"`
+		HotTracked int      `json:"hot_tracked"`
+	}{Nodes: rt.c.NodeIDs(), HotTracked: rt.c.HotTracked()})
+}
+
+// handleClusterOp routes POST /cluster/{join,leave,rebalance}.
+func (rt *router) handleClusterOp(w http.ResponseWriter, r *http.Request) {
+	op := strings.TrimPrefix(r.URL.Path, "/cluster/")
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "cluster operations are POSTs", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	switch op {
+	case "join":
+		if id == "" {
+			http.Error(w, "join needs ?id=", http.StatusBadRequest)
+			return
+		}
+		if _, err := rt.c.Join(id, rt.fsys, rt.name, rt.scfg); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+	case "leave":
+		if id == "" {
+			http.Error(w, "leave needs ?id=", http.StatusBadRequest)
+			return
+		}
+		if err := rt.c.Leave(id); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+	case "rebalance":
+		writeJSON(w, struct {
+			Replicated int `json:"replicated"`
+		}{Replicated: rt.c.RebalanceHot()})
+		return
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	rt.handleCluster(w, r)
+}
+
+// handleRank answers /rank/<r> whole or windowed, streaming through the
+// cluster data path.
+func (rt *router) handleRank(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/rank/")
+	rank, err := strconv.Atoi(rest)
+	if err != nil {
+		http.Error(w, "bad rank", http.StatusBadRequest)
+		return
+	}
+	h, err := rt.c.Open(rank)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	rt.serveBytes(w, r, h)
+}
+
+// serveChunk bounds the buffer serveBytes streams through, so a full-rank
+// GET never materializes the whole logical stream.
+const serveChunk int64 = 1 << 20
+
+// serveBytes mirrors sionserve's window contract: malformed off/n are
+// 400s, a well-formed off outside [0, size] is a 416, n past the end is
+// clamped, off == size is a valid empty window. The first chunk is read
+// before the status line goes out so immediate failures map through
+// httpError; later failures are logged and the body cut short.
+func (rt *router) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Handle) {
+	size := h.LogicalSize()
+	off, n := int64(0), size
+	q := r.URL.Query()
+	if v := q.Get("off"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			http.Error(w, "off is not an integer", http.StatusBadRequest)
+			return
+		}
+		if parsed < 0 || parsed > size {
+			http.Error(w, fmt.Sprintf("off %d outside the logical stream (0..%d)", parsed, size),
+				http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+		off = parsed
+		n = size - off
+	}
+	if v := q.Get("n"); v != "" {
+		want, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || want < 0 {
+			http.Error(w, "n is not a byte count", http.StatusBadRequest)
+			return
+		}
+		if want < n {
+			n = want
+		}
+	}
+	buf := make([]byte, min(n, serveChunk))
+	if n > 0 {
+		if _, err := h.ReadLogicalAt(buf[:min(n, serveChunk)], off); err != nil {
+			httpError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	for sent := int64(0); sent < n; {
+		m := min(n-sent, serveChunk)
+		if sent > 0 { // the first chunk was read before the headers
+			if _, err := h.ReadLogicalAt(buf[:m], off+sent); err != nil {
+				logf("sionrouter: %s at byte %d of %d: %v", r.URL.Path, sent, n, err)
+				return
+			}
+		}
+		if _, err := w.Write(buf[:m]); err != nil {
+			logf("sionrouter: %s at byte %d of %d: writing response: %v", r.URL.Path, sent, n, err)
+			return
+		}
+		sent += m
+	}
+}
+
+// httpError maps a read failure to its status: a cluster with every
+// replica of a block down is 503 + Retry-After (the breakers re-probe
+// after their cooldown), everything else stays a 500.
+func httpError(w http.ResponseWriter, err error) {
+	if errors.Is(err, serve.ErrDegraded) {
+		w.Header().Set("Retry-After", retryAfterSecs)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// writeJSON marshals before touching the ResponseWriter so an encoding
+// failure can still become a 500; a failed write afterwards is logged.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		logf("sionrouter: encoding response: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		logf("sionrouter: writing response: %v", err)
+	}
+}

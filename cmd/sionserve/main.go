@@ -61,6 +61,13 @@ type server struct {
 	keys map[int]*sion.KeyReader // lazily built per rank, shared by clients
 }
 
+// logf reports response-write failures — errors that surface after the
+// status line is committed, so they can no longer turn into an HTTP error
+// for the client. Swappable so handler tests can capture it.
+var logf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // shutdownTimeout bounds the in-flight request drain on SIGINT/SIGTERM.
 const shutdownTimeout = 10 * time.Second
 
@@ -227,17 +234,31 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
+		if _, err := w.Write(data); err != nil {
+			logf("sionserve: rank %d key %d: writing response: %v", rank, key, err)
+		}
 	default:
 		http.NotFound(w, r)
 	}
 }
+
+// serveChunk bounds the buffer serveBytes streams through: a rank's
+// logical stream can be arbitrarily large, so the window is read and
+// written in pieces instead of materialized in one allocation sized by
+// the client's n.
+const serveChunk int64 = 1 << 20
 
 // serveBytes answers /rank/<r> with the whole stream or the ?off=&n=
 // window. Malformed values are 400s; a well-formed off outside [0, size]
 // is a 416 (range not satisfiable, mirroring HTTP range semantics); a
 // count past the end is clamped to the stream's tail. off == size is a
 // valid empty window.
+//
+// The first chunk is read before the status line is committed, so an
+// immediately failing backend still maps through httpError (503 when
+// degraded). Once headers are out the status can't change: mid-stream
+// failures are logged and the response cut short of its Content-Length,
+// which clients detect as a truncated body.
 func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Handle) {
 	size := h.LogicalSize()
 	off, n := int64(0), size
@@ -266,16 +287,29 @@ func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Han
 			n = want
 		}
 	}
-	buf := make([]byte, n)
+	buf := make([]byte, min(n, serveChunk))
 	if n > 0 {
-		if _, err := h.ReadLogicalAt(buf, off); err != nil {
+		if _, err := h.ReadLogicalAt(buf[:min(n, serveChunk)], off); err != nil {
 			httpError(w, err)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
-	w.Write(buf)
+	for sent := int64(0); sent < n; {
+		m := min(n-sent, serveChunk)
+		if sent > 0 { // the first chunk was read before the headers
+			if _, err := h.ReadLogicalAt(buf[:m], off+sent); err != nil {
+				logf("sionserve: %s at byte %d of %d: %v", r.URL.Path, sent, n, err)
+				return
+			}
+		}
+		if _, err := w.Write(buf[:m]); err != nil {
+			logf("sionserve: %s at byte %d of %d: writing response: %v", r.URL.Path, sent, n, err)
+			return
+		}
+		sent += m
+	}
 }
 
 // keyReaderError distinguishes "this rank has no key records" (a client
@@ -305,9 +339,18 @@ func (s *server) keyReader(rank int, h *serve.Handle) (*sion.KeyReader, error) {
 	return kr, nil
 }
 
+// writeJSON marshals before touching the ResponseWriter so an encoding
+// failure can still become a 500; a failed write afterwards can only be
+// logged (the 200 is already committed).
 func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		logf("sionserve: encoding response: %v", err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		logf("sionserve: writing response: %v", err)
+	}
 }

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/serve"
+)
+
+// bigBytes spans several serveChunk windows with an odd remainder, so the
+// streaming loop's chunk arithmetic and tail handling are both exercised.
+const bigBytes = 2*serveChunk + serveChunk/2 + 37
+
+// newBigServer writes a single-rank multifile larger than serveChunk and
+// returns the handler table over it.
+func newBigServer(t *testing.T) *http.ServeMux {
+	t.Helper()
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(1, func(c *mpi.Comm) {
+		f, err := sion.ParOpen(c, fsys, "big", sion.WriteMode, &sion.Options{ChunkSize: 1 << 20})
+		if err != nil {
+			t.Errorf("ParOpen: %v", err)
+			return
+		}
+		if _, err := f.Write(tsPayload(0, int(bigBytes))); err != nil {
+			t.Errorf("Write: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	srv, err := serve.New(fsys, "big", nil)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
+	return s.mux()
+}
+
+// captureLog reroutes logf into a slice for the test's duration.
+func captureLog(t *testing.T) *[]string {
+	t.Helper()
+	old := logf
+	var lines []string
+	logf = func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	t.Cleanup(func() { logf = old })
+	return &lines
+}
+
+// TestServeBytesStreamsLargeRank pins the chunked-streaming rewrite: a
+// rank several times serveChunk long arrives byte-identical with an exact
+// Content-Length, for the whole stream and for windows that straddle
+// chunk boundaries.
+func TestServeBytesStreamsLargeRank(t *testing.T) {
+	mux := newBigServer(t)
+	full := tsPayload(0, int(bigBytes))
+	cases := []struct {
+		name string
+		url  string
+		want []byte
+	}{
+		{"whole stream", "/rank/0", full},
+		{"window across chunk boundary",
+			fmt.Sprintf("/rank/0?off=%d&n=%d", serveChunk-100, serveChunk+200),
+			full[serveChunk-100 : 2*serveChunk+100]},
+		{"tail remainder", fmt.Sprintf("/rank/0?off=%d", 2*serveChunk), full[2*serveChunk:]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			mux.ServeHTTP(rec, httptest.NewRequest("GET", tc.url, nil))
+			if rec.Code != 200 {
+				t.Fatalf("%s: status %d", tc.url, rec.Code)
+			}
+			if cl := rec.Header().Get("Content-Length"); cl != strconv.Itoa(len(tc.want)) {
+				t.Errorf("%s: Content-Length %q, want %d", tc.url, cl, len(tc.want))
+			}
+			if !bytes.Equal(rec.Body.Bytes(), tc.want) {
+				t.Errorf("%s: body mismatch (%d bytes, want %d)", tc.url, rec.Body.Len(), len(tc.want))
+			}
+		})
+	}
+}
+
+// failAfterWriter passes through a fixed number of Writes, then fails —
+// the shape of a client hanging up mid-download.
+type failAfterWriter struct {
+	http.ResponseWriter
+	remaining int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, errors.New("client hung up")
+	}
+	f.remaining--
+	return f.ResponseWriter.Write(p)
+}
+
+// TestServeBytesWriteErrorLogged pins the post-header error path: once the
+// status line is out, a failed body write must be logged and the stream
+// cut short — not silently dropped, and never a second WriteHeader.
+func TestServeBytesWriteErrorLogged(t *testing.T) {
+	mux := newBigServer(t)
+	lines := captureLog(t)
+	rec := httptest.NewRecorder()
+	w := &failAfterWriter{ResponseWriter: rec, remaining: 1}
+	mux.ServeHTTP(w, httptest.NewRequest("GET", "/rank/0", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d, want 200 (headers precede the failure)", rec.Code)
+	}
+	if got := int64(rec.Body.Len()); got != serveChunk {
+		t.Errorf("body stopped at %d bytes, want exactly one chunk (%d)", got, serveChunk)
+	}
+	if len(*lines) != 1 || !strings.Contains((*lines)[0], "writing response") {
+		t.Errorf("log lines = %q, want one write-failure entry", *lines)
+	}
+}
+
+// TestWriteJSONErrorsChecked pins writeJSON's two failure paths: an
+// unencodable value becomes a 500 (nothing was written yet), and a failed
+// write of a good payload is logged.
+func TestWriteJSONErrorsChecked(t *testing.T) {
+	lines := captureLog(t)
+	rec := httptest.NewRecorder()
+	writeJSON(rec, make(chan int)) // not marshalable
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("unencodable value: status %d, want 500", rec.Code)
+	}
+	if len(*lines) != 1 || !strings.Contains((*lines)[0], "encoding response") {
+		t.Fatalf("log lines = %q, want one encoding-failure entry", *lines)
+	}
+
+	*lines = (*lines)[:0]
+	w := &failAfterWriter{ResponseWriter: httptest.NewRecorder(), remaining: 0}
+	writeJSON(w, map[string]int{"ok": 1})
+	if len(*lines) != 1 || !strings.Contains((*lines)[0], "writing response") {
+		t.Errorf("log lines = %q, want one write-failure entry", *lines)
+	}
+}

@@ -1,0 +1,628 @@
+// Package cluster scales the read-serving tier (internal/serve)
+// horizontally: a Cluster is a router that consistent-hashes
+// (physical file, cache block) across N serve nodes on a hash ring,
+// replicates the hottest blocks to K nodes, and lets nodes fill their
+// caches from each other before falling back to the backend — so a block
+// is read from the file system once per cluster, not once per node. This
+// is the aggregator/broadcast structure of collective-buffering models
+// (Zhang et al., arXiv:0901.0134) and CkIO's over-decomposed reader layer
+// (arXiv:2411.18593) applied to the serving tier: the tab6 zipfian
+// workload that melts one node spreads across the ring, and the working
+// set is cached once cluster-wide instead of once per node.
+//
+// Four mechanisms do the work:
+//
+//   - Consistent-hash routing (ring.go): every cache block has a primary
+//     node and a deterministic successor order. A node joining or leaving
+//     remaps only the blocks adjacent to its ring points, so the
+//     surviving caches stay hot across membership churn.
+//   - Peer cache fill: each node's serve.Config.PeerFill hook asks the
+//     other nodes' Peek (a passive cache-only lookup) before its fetcher
+//     touches the backend. A block that any node already holds spreads
+//     through the cluster without another backend read.
+//   - Hot-block replication: RebalanceHot merges the nodes' shard-LRU hit
+//     reports (serve.HotBlocks), tracks the hottest blocks, and
+//     pre-materializes them on the first ReplicateHot ring successors
+//     (cheap, via peer fill). Reads of a hot block rotate across its
+//     replicas instead of hammering the primary.
+//   - Failure routing: nodes expose their breaker state (serve.Health,
+//     serve.Degraded); the router tries healthy replicas first and fails
+//     over past open-circuit, closed, or transiently failing nodes. Only
+//     when every replica is down does a read fail, with a typed
+//     serve.ErrDegraded so front ends can answer 503 + Retry-After.
+//
+// Clients call Open and get an ordinary serve.Handle (Read, Seek,
+// ReadLogicalAt, KeyReader): the Handle reads through the Cluster's
+// FileReaderAt, which routes block by block. All methods are safe for
+// concurrent use.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/resil"
+	"repro/internal/serve"
+)
+
+// ErrNoNodes is returned (wrapped) by reads routed while the cluster has
+// no serving nodes (never joined, or every node has left).
+var ErrNoNodes = errors.New("cluster: no serving nodes")
+
+// ErrClusterClosed is returned (wrapped) by operations after Close.
+var ErrClusterClosed = errors.New("cluster: cluster is closed")
+
+// Config tunes a Cluster. The zero value (or nil) picks the defaults.
+type Config struct {
+	// VNodes is the number of virtual ring points per node (default 64).
+	// More points smooth the block split across nodes at the cost of a
+	// larger ring.
+	VNodes int
+
+	// ReplicateHot is the number of ring successors a hot block is
+	// replicated to, including its primary (default 2; 1 disables
+	// replication). Reads of a hot block rotate across its replicas.
+	ReplicateHot int
+
+	// HotMinHits is the per-entry cache hit count at which a block counts
+	// as hot when RebalanceHot merges the nodes' shard-LRU reports
+	// (default 64).
+	HotMinHits int64
+
+	// MaxHot caps the tracked hot set (default 256 blocks).
+	MaxHot int
+}
+
+func resolveConfig(cfg *Config) Config {
+	var c Config
+	if cfg != nil {
+		c = *cfg
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.ReplicateHot <= 0 {
+		c.ReplicateHot = 2
+	}
+	if c.HotMinHits <= 0 {
+		c.HotMinHits = 64
+	}
+	if c.MaxHot <= 0 {
+		c.MaxHot = 256
+	}
+	return c
+}
+
+// Node is one serve instance on the ring.
+type Node struct {
+	ID  string
+	srv *serve.Server
+}
+
+// Server returns the node's underlying serve.Server (its stats, health,
+// and cache surface).
+func (n *Node) Server() *serve.Server { return n.srv }
+
+type hotKey struct {
+	file  int
+	block int64
+}
+
+// Cluster routes reads across serve nodes on a consistent-hash ring. See
+// the package documentation for the mechanism.
+type Cluster struct {
+	cfg Config
+
+	mu         sync.RWMutex // guards membership and the snapshot below
+	closed     bool
+	name       string // multifile base name (set by the first Join)
+	layout     *sion.Layout
+	blockBytes int64
+	nodes      []*Node // sorted by ID
+	ring       *ring
+
+	hotMu sync.RWMutex
+	hot   map[hotKey]struct{}
+
+	rr        atomic.Uint64 // rotates reads across hot-block replicas
+	requests  atomic.Int64  // block-granular routed reads
+	failovers atomic.Int64  // extra replica attempts after a failed one
+	allDown   atomic.Int64  // reads that exhausted every replica
+	handles   atomic.Int64
+}
+
+var _ serve.FileReaderAt = (*Cluster)(nil)
+
+// New builds an empty cluster; Join adds serve nodes to it.
+func New(cfg *Config) *Cluster {
+	return &Cluster{cfg: resolveConfig(cfg), hot: make(map[hotKey]struct{})}
+}
+
+// Join opens the multifile `name` on fsys as a new serve node `id` and
+// adds it to the ring. The node's serve.Config (nil for defaults) is
+// taken over with two adjustments: its PeerFill hook is wired to the
+// other nodes' caches, and its cache-block size is forced to the
+// cluster's, which the first Join establishes (routing and peer fill are
+// block-granular, so every node must agree). All nodes of one cluster
+// must front the same multifile.
+func (c *Cluster) Join(id string, fsys fsio.FileSystem, name string, scfg *serve.Config) (*Node, error) {
+	c.mu.RLock()
+	closed, curName, blockBytes := c.closed, c.name, c.blockBytes
+	c.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: join %s: %w", id, ErrClusterClosed)
+	}
+	if curName != "" && name != curName {
+		return nil, fmt.Errorf("cluster: join %s: multifile %q differs from the cluster's %q", id, name, curName)
+	}
+	var cfg serve.Config
+	if scfg != nil {
+		cfg = *scfg
+	}
+	cfg.BlockBytes = blockBytes // 0 on the first join: serve resolves the default
+	cfg.PeerFill = func(file int, block int64) ([]byte, bool) { return c.peerFill(id, file, block) }
+	srv, err := serve.New(fsys, name, &cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: join %s: %w", id, err)
+	}
+	n := &Node{ID: id, srv: srv}
+
+	c.mu.Lock()
+	switch {
+	case c.closed:
+		err = fmt.Errorf("cluster: join %s: %w", id, ErrClusterClosed)
+	case c.blockBytes != 0 && srv.BlockBytes() != c.blockBytes:
+		err = fmt.Errorf("cluster: join %s: block size %d differs from the cluster's %d",
+			id, srv.BlockBytes(), c.blockBytes)
+	default:
+		for _, other := range c.nodes {
+			if other.ID == id {
+				err = fmt.Errorf("cluster: join %s: node id already on the ring", id)
+				break
+			}
+		}
+	}
+	if err != nil {
+		c.mu.Unlock()
+		srv.Close()
+		return nil, err
+	}
+	if c.name == "" {
+		c.name = name
+		c.layout = srv.Layout()
+		c.blockBytes = srv.BlockBytes()
+	}
+	// Copy-on-write: readers iterate snapshots of c.nodes outside the
+	// lock, so membership changes must never mutate the old backing array.
+	nodes := make([]*Node, 0, len(c.nodes)+1)
+	nodes = append(nodes, c.nodes...)
+	nodes = append(nodes, n)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	c.nodes = nodes
+	c.rebuildRing()
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Leave removes node `id` from the ring and closes its serve instance.
+// Blocks whose primary departs remap to their ring successors; reads that
+// raced the departure fail over the same way they fail over a degraded
+// node, so serving continues uninterrupted as long as one node remains.
+func (c *Cluster) Leave(id string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: leave %s: %w", id, ErrClusterClosed)
+	}
+	var gone *Node
+	nodes := make([]*Node, 0, len(c.nodes)) // copy-on-write, like Join
+	for _, n := range c.nodes {
+		if n.ID == id {
+			gone = n
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	if gone == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: leave %s: no such node", id)
+	}
+	c.nodes = nodes
+	c.rebuildRing()
+	c.mu.Unlock()
+	return gone.srv.Close()
+}
+
+// rebuildRing recomputes the ring from the current membership (caller
+// holds mu.W). Point positions depend only on node ids, so the same
+// membership always yields the same ring regardless of join order.
+func (c *Cluster) rebuildRing() {
+	ids := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		ids[i] = n.ID
+	}
+	c.ring = buildRing(ids, c.cfg.VNodes)
+}
+
+// Close shuts down every node. It is idempotent; reads issued after Close
+// fail with ErrClusterClosed.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	nodes := c.nodes
+	c.nodes = nil
+	c.ring = nil
+	c.mu.Unlock()
+	var firstErr error
+	for _, n := range nodes {
+		if err := n.srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Name returns the multifile base name ("" before the first Join).
+func (c *Cluster) Name() string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.name
+}
+
+// Layout returns the multifile layout (nil before the first Join).
+func (c *Cluster) Layout() *sion.Layout {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.layout
+}
+
+// BlockBytes returns the cluster's routing block size (0 before the first
+// Join).
+func (c *Cluster) BlockBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.blockBytes
+}
+
+// NodeIDs lists the current membership, sorted.
+func (c *Cluster) NodeIDs() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		ids[i] = n.ID
+	}
+	return ids
+}
+
+// Open starts a read session on the logical file of writer rank `rank`.
+// The returned Handle carries the full serve.Handle semantics (Read,
+// Seek, ReadLogicalAt, KeyReader); every block it touches is routed
+// through the ring.
+func (c *Cluster) Open(rank int) (*serve.Handle, error) {
+	c.mu.RLock()
+	closed, layout := c.closed, c.layout
+	c.mu.RUnlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: open rank %d: %w", rank, ErrClusterClosed)
+	}
+	if layout == nil {
+		return nil, fmt.Errorf("cluster: open rank %d: %w", rank, ErrNoNodes)
+	}
+	h, err := serve.NewHandle(layout, rank, c)
+	if err != nil {
+		return nil, err
+	}
+	c.handles.Add(1)
+	return h, nil
+}
+
+// peerFill answers node selfID's fetcher: scan the other nodes' caches
+// (in ring order for the block, most likely holders first) for the block,
+// without triggering any fetch. This is the hook behind
+// serve.Config.PeerFill.
+func (c *Cluster) peerFill(selfID string, file int, block int64) ([]byte, bool) {
+	c.mu.RLock()
+	nodes, rg := c.nodes, c.ring
+	c.mu.RUnlock()
+	if rg == nil {
+		return nil, false
+	}
+	for _, ni := range rg.lookup(blockHash(file, block)) {
+		n := nodes[ni]
+		if n.ID == selfID {
+			continue
+		}
+		if data, ok := n.srv.Peek(file, block); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// isHot reports whether (file, block) is in the tracked hot set.
+func (c *Cluster) isHot(file int, block int64) bool {
+	c.hotMu.RLock()
+	defer c.hotMu.RUnlock()
+	_, ok := c.hot[hotKey{file, block}]
+	return ok
+}
+
+// HotTracked returns the size of the tracked hot set.
+func (c *Cluster) HotTracked() int {
+	c.hotMu.RLock()
+	defer c.hotMu.RUnlock()
+	return len(c.hot)
+}
+
+// RebalanceHot merges the nodes' shard-LRU hit reports into the hot set
+// (the hottest MaxHot blocks with at least HotMinHits hits) and
+// pre-materializes each hot block on its first ReplicateHot ring
+// successors — cheaply, because the replicas fill from the primary's
+// cache via peer fill, not from the backend. Reads of hot blocks then
+// rotate across the replicas. Call it periodically (cmd/sionrouter does;
+// tab9 calls it every few dozen clients); it returns the tracked hot-set
+// size. Safe for concurrent use with reads and membership changes.
+func (c *Cluster) RebalanceHot() int {
+	c.mu.RLock()
+	nodes, rg, bs := c.nodes, c.ring, c.blockBytes
+	c.mu.RUnlock()
+	if len(nodes) == 0 {
+		c.hotMu.Lock()
+		c.hot = make(map[hotKey]struct{})
+		c.hotMu.Unlock()
+		return 0
+	}
+	merged := make(map[hotKey]int64)
+	for _, n := range nodes {
+		for _, hb := range n.srv.HotBlocks(c.cfg.HotMinHits) {
+			merged[hotKey{hb.File, hb.Block}] += hb.Hits
+		}
+	}
+	list := make([]serve.HotBlock, 0, len(merged))
+	for k, hits := range merged {
+		list = append(list, serve.HotBlock{File: k.file, Block: k.block, Hits: hits})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Hits != list[j].Hits {
+			return list[i].Hits > list[j].Hits
+		}
+		if list[i].File != list[j].File {
+			return list[i].File < list[j].File
+		}
+		return list[i].Block < list[j].Block
+	})
+	if len(list) > c.cfg.MaxHot {
+		list = list[:c.cfg.MaxHot]
+	}
+	newHot := make(map[hotKey]struct{}, len(list))
+	for _, hb := range list {
+		newHot[hotKey{hb.File, hb.Block}] = struct{}{}
+	}
+	c.hotMu.Lock()
+	c.hot = newHot
+	c.hotMu.Unlock()
+
+	if k := c.cfg.ReplicateHot; k > 1 {
+		for _, hb := range list {
+			cands := rg.lookup(blockHash(hb.File, hb.Block))
+			for i := 0; i < k && i < len(cands); i++ {
+				n := nodes[cands[i]]
+				if _, ok := n.srv.Peek(hb.File, hb.Block); ok {
+					continue
+				}
+				// Best-effort: a degraded or racing-departed replica just
+				// stays cold until the next rebalance.
+				buf := make([]byte, bs)
+				_ = n.srv.ReadFileAt(hb.File, buf, hb.Block*bs)
+			}
+		}
+	}
+	return len(list)
+}
+
+// ReadFileAt routes [off, off+len(p)) of physical file `file` block by
+// block across the ring: each block goes to its primary (or rotates
+// across its replicas when hot), failing over along the ring past
+// degraded, closed, or transiently failing nodes. It fails with a typed
+// serve.ErrDegraded only when every replica of a block is down; a
+// permanent error (the backend answering wrongly) is returned as-is,
+// since every node would fail identically.
+func (c *Cluster) ReadFileAt(file int, p []byte, off int64) error {
+	c.mu.RLock()
+	closed, name := c.closed, c.name
+	nodes, rg, bs := c.nodes, c.ring, c.blockBytes
+	c.mu.RUnlock()
+	if closed {
+		return fmt.Errorf("cluster: %s: %w", name, ErrClusterClosed)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("cluster: %s: %w", name, ErrNoNodes)
+	}
+	if off < 0 {
+		return fmt.Errorf("cluster: %s: negative physical offset %d", name, off)
+	}
+	end := off + int64(len(p))
+	for b := off / bs; b*bs < end; b++ {
+		lo, hi := b*bs, (b+1)*bs
+		if lo < off {
+			lo = off
+		}
+		if hi > end {
+			hi = end
+		}
+		if err := c.readBlock(nodes, rg, file, b, p[lo-off:hi-off], lo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBlock serves one block-contained window through the ring.
+func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte, off int64) error {
+	c.requests.Add(1)
+	cands := rg.lookup(blockHash(file, b))
+	// Rotate reads of a hot block across its replicas so the primary is
+	// not the only node paying for popularity.
+	order := cands
+	if k := c.cfg.ReplicateHot; k > 1 && len(cands) > 1 && c.isHot(file, b) {
+		if k > len(cands) {
+			k = len(cands)
+		}
+		rot := int(c.rr.Add(1) % uint64(k))
+		order = make([]int, 0, len(cands))
+		for i := 0; i < k; i++ {
+			order = append(order, cands[(rot+i)%k])
+		}
+		order = append(order, cands[k:]...)
+	}
+	// Healthy replicas first: a node with any open circuit is tried last
+	// (its cache may still answer, but it must not absorb primary load).
+	try := make([]*Node, 0, len(order))
+	var degraded []*Node
+	for _, ni := range order {
+		if n := nodes[ni]; n.srv.Degraded() {
+			degraded = append(degraded, n)
+		} else {
+			try = append(try, n)
+		}
+	}
+	try = append(try, degraded...)
+
+	var lastErr error
+	for i, n := range try {
+		err := n.srv.ReadFileAt(file, p, off)
+		if err == nil {
+			if i > 0 {
+				c.failovers.Add(int64(i))
+			}
+			return nil
+		}
+		lastErr = err
+		if !failoverWorthy(err) {
+			return err
+		}
+	}
+	c.allDown.Add(1)
+	return fmt.Errorf("cluster: %s: file %d block %d: all %d replicas down (last: %v): %w",
+		c.Name(), file, b, len(try), lastErr, serve.ErrDegraded)
+}
+
+// failoverWorthy reports whether another replica might answer where this
+// node did not: open circuits, closed (departed) nodes, and transient
+// backend faults fail over; permanent errors are the backend answering
+// and would repeat identically on every node.
+func failoverWorthy(err error) bool {
+	return errors.Is(err, serve.ErrDegraded) ||
+		errors.Is(err, serve.ErrServerClosed) ||
+		resil.Classify(err) == resil.ClassTransient
+}
+
+// NodeStats is one node's identity and serve counters.
+type NodeStats struct {
+	ID       string
+	Degraded bool
+	Serve    serve.Stats
+}
+
+// Stats is a snapshot of the cluster's routing counters plus the
+// element-wise sum (and per-node breakdown) of the nodes' serve stats.
+type Stats struct {
+	Nodes           int
+	Requests        int64 // block-granular routed reads
+	Failovers       int64 // extra replica attempts after a failed one
+	AllReplicasDown int64 // reads that exhausted every replica
+	HotTracked      int   // tracked hot blocks
+	HandlesOpened   int64
+	Serve           serve.Stats // sum over nodes
+	PerNode         []NodeStats
+}
+
+// Stats returns a snapshot of the routing and node counters.
+func (c *Cluster) Stats() Stats {
+	c.mu.RLock()
+	nodes := c.nodes
+	c.mu.RUnlock()
+	st := Stats{
+		Nodes:           len(nodes),
+		Requests:        c.requests.Load(),
+		Failovers:       c.failovers.Load(),
+		AllReplicasDown: c.allDown.Load(),
+		HotTracked:      c.HotTracked(),
+		HandlesOpened:   c.handles.Load(),
+	}
+	for _, n := range nodes {
+		ns := NodeStats{ID: n.ID, Degraded: n.srv.Degraded(), Serve: n.srv.Stats()}
+		st.Serve = addStats(st.Serve, ns.Serve)
+		st.PerNode = append(st.PerNode, ns)
+	}
+	return st
+}
+
+// addStats sums two serve stat snapshots element-wise.
+func addStats(a, b serve.Stats) serve.Stats {
+	return serve.Stats{
+		Hits:          a.Hits + b.Hits,
+		Misses:        a.Misses + b.Misses,
+		FlightHits:    a.FlightHits + b.FlightHits,
+		BackendReads:  a.BackendReads + b.BackendReads,
+		BackendBytes:  a.BackendBytes + b.BackendBytes,
+		ServedBytes:   a.ServedBytes + b.ServedBytes,
+		Evictions:     a.Evictions + b.Evictions,
+		CachedBytes:   a.CachedBytes + b.CachedBytes,
+		HandlesOpened: a.HandlesOpened + b.HandlesOpened,
+		TailPolls:     a.TailPolls + b.TailPolls,
+		PeerFills:     a.PeerFills + b.PeerFills,
+		Retries:       a.Retries + b.Retries,
+		GiveUps:       a.GiveUps + b.GiveUps,
+		Degraded:      a.Degraded + b.Degraded,
+		BreakerOpens:  a.BreakerOpens + b.BreakerOpens,
+	}
+}
+
+// NodeHealth is one node's breaker condition, the substance of
+// cmd/sionrouter's /healthz endpoint.
+type NodeHealth struct {
+	ID       string             `json:"id"`
+	Degraded bool               `json:"degraded"`
+	Files    []serve.FileHealth `json:"files"`
+}
+
+// Health reports every node's per-physical-file breaker state.
+func (c *Cluster) Health() []NodeHealth {
+	c.mu.RLock()
+	nodes := c.nodes
+	c.mu.RUnlock()
+	out := make([]NodeHealth, len(nodes))
+	for i, n := range nodes {
+		out[i] = NodeHealth{ID: n.ID, Degraded: n.srv.Degraded(), Files: n.srv.Health()}
+	}
+	return out
+}
+
+// Degraded reports whether the whole cluster is refusing backend work:
+// true only when every node (or no node) is serving degraded. While any
+// node is healthy the router can route around the rest.
+func (c *Cluster) Degraded() bool {
+	c.mu.RLock()
+	nodes := c.nodes
+	c.mu.RUnlock()
+	if len(nodes) == 0 {
+		return true
+	}
+	for _, n := range nodes {
+		if !n.srv.Degraded() {
+			return false
+		}
+	}
+	return true
+}

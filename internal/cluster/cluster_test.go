@@ -1,0 +1,589 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/resil"
+	"repro/internal/serve"
+)
+
+// testPayload is the deterministic per-rank payload used across the tests
+// (same generator as the serve tests, so cross-package results line up).
+func testPayload(rank, size int) []byte {
+	out := make([]byte, size)
+	x := uint32(rank*2654435761 + 12345)
+	for i := range out {
+		x = x*1664525 + 1013904223
+		out[i] = byte(x >> 24)
+	}
+	return out
+}
+
+// writeMultifile writes an n-task multifile (two physical files, ~2.5
+// chunks per task) and returns each rank's payload.
+func writeMultifile(t *testing.T, fsys fsio.FileSystem, name string, n int) [][]byte {
+	t.Helper()
+	payloads := make([][]byte, n)
+	for r := range payloads {
+		payloads[r] = testPayload(r, 2500+37*r)
+	}
+	mpi.Run(n, func(c *mpi.Comm) {
+		f, err := sion.ParOpen(c, fsys, name, sion.WriteMode, &sion.Options{
+			ChunkSize: 1024, FSBlockSize: 256, NFiles: 2,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := f.Write(payloads[c.Rank()]); err != nil {
+			t.Error(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Error(err)
+		}
+	})
+	return payloads
+}
+
+// faultFS wraps a FileSystem so ReadAt fails on demand — transiently
+// (fsio error contract) or permanently. It gives each cluster node its
+// own view of the shared backend, so one node's path can fail while its
+// peers' stay healthy.
+type faultFS struct {
+	fsio.FileSystem
+	mode atomic.Int32 // 0 healthy, 1 transient, 2 permanent
+}
+
+var errPermanentFault = errors.New("cluster test: permanent backend fault")
+
+func (f *faultFS) Open(name string) (fsio.File, error) {
+	fh, err := f.FileSystem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: fh, fs: f}, nil
+}
+
+type faultFile struct {
+	fsio.File
+	fs *faultFS
+}
+
+func (h *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	switch h.fs.mode.Load() {
+	case 1:
+		return 0, fmt.Errorf("injected fault: %w", fsio.ErrTransient)
+	case 2:
+		return 0, errPermanentFault
+	}
+	return h.File.ReadAt(p, off)
+}
+
+// checkRank reads rank r's full stream through the cluster and compares.
+func checkRank(t *testing.T, cl *Cluster, r int, want []byte) {
+	t.Helper()
+	h, err := cl.Open(r)
+	if err != nil {
+		t.Fatalf("rank %d: Open: %v", r, err)
+	}
+	got := make([]byte, len(want))
+	if _, err := h.ReadLogicalAt(got, 0); err != nil {
+		t.Fatalf("rank %d: ReadLogicalAt: %v", r, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rank %d: bytes differ through the cluster", r)
+	}
+}
+
+// TestClusterByteIdentity pins the basic contract: a 3-node cluster
+// serves every rank's stream byte-identically, full reads and unaligned
+// windows alike, and the routing counters move.
+func TestClusterByteIdentity(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "c.sion", 8)
+	cl := New(&Config{VNodes: 16})
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Join(fmt.Sprintf("n%d", i), fsys, "c.sion", &serve.Config{CacheBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r, want := range payloads {
+		checkRank(t, cl, r, want)
+	}
+	// Unaligned windows through a handle cursor.
+	h, err := cl.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads[3]
+	for _, off := range []int64{1, 255, 256, 1000, int64(len(want)) - 7} {
+		buf := make([]byte, 131)
+		n, err := h.ReadLogicalAt(buf, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if n == 0 || !bytes.Equal(buf[:n], want[off:off+int64(n)]) {
+			t.Fatalf("offset %d: window differs (%d bytes)", off, n)
+		}
+	}
+	st := cl.Stats()
+	if st.Nodes != 3 || st.Requests == 0 || st.Serve.BackendReads == 0 || st.HandlesOpened == 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.AllReplicasDown != 0 {
+		t.Fatalf("healthy cluster counted %d all-replicas-down reads", st.AllReplicasDown)
+	}
+	if len(cl.Health()) != 3 || cl.Degraded() {
+		t.Fatalf("healthy 3-node cluster reports degraded health: %+v", cl.Health())
+	}
+}
+
+// TestClusterJoinPeerFillsRemappedBlocks pins the cluster's headline
+// economics: after the working set is cached once cluster-wide, a new
+// node joining takes over ~1/N of the blocks and warms them from its
+// peers' caches — zero new backend reads.
+func TestClusterJoinPeerFillsRemappedBlocks(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "j.sion", 8)
+	cl := New(&Config{VNodes: 16})
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Join(fmt.Sprintf("n%d", i), fsys, "j.sion", &serve.Config{CacheBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r, want := range payloads {
+		checkRank(t, cl, r, want)
+	}
+	warm := cl.Stats().Serve
+	if warm.BackendReads == 0 {
+		t.Fatal("warm-up issued no backend reads")
+	}
+
+	if _, err := cl.Join("n9", fsys, "j.sion", &serve.Config{CacheBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	for r, want := range payloads {
+		checkRank(t, cl, r, want)
+	}
+	after := cl.Stats().Serve
+	if after.BackendReads != warm.BackendReads {
+		t.Fatalf("join forced %d extra backend reads (%d -> %d): remapped blocks must peer-fill",
+			after.BackendReads-warm.BackendReads, warm.BackendReads, after.BackendReads)
+	}
+	if after.PeerFills == 0 {
+		t.Fatal("no peer fills counted after a join remapped blocks")
+	}
+}
+
+// TestClusterHotReplicationAndRotation pins hot-block handling: after
+// RebalanceHot a block past HotMinHits is resident on ReplicateHot nodes
+// (replicas warmed via peer fill, not the backend), and subsequent reads
+// rotate across the replicas.
+func TestClusterHotReplicationAndRotation(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "h.sion", 8)
+	cl := New(&Config{VNodes: 16, ReplicateHot: 2, HotMinHits: 4})
+	defer cl.Close()
+	nodes := make([]*Node, 3)
+	for i := range nodes {
+		n, err := cl.Join(fmt.Sprintf("n%d", i), fsys, "h.sion", &serve.Config{CacheBytes: 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	h, err := cl.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64) // within one 256-byte cache block
+	for i := 0; i < 8; i++ {
+		if _, err := h.ReadLogicalAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Identify the hot block from the owning node's LRU report.
+	var hotFile int
+	var hotBlock int64
+	found := false
+	for _, n := range nodes {
+		if hb := n.Server().HotBlocks(4); len(hb) > 0 {
+			hotFile, hotBlock, found = hb[0].File, hb[0].Block, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no node reports a hot block after 8 identical reads")
+	}
+	holders := func() (hold []*Node) {
+		for _, n := range nodes {
+			if _, ok := n.Server().Peek(hotFile, hotBlock); ok {
+				hold = append(hold, n)
+			}
+		}
+		return hold
+	}
+	if h := holders(); len(h) != 1 {
+		t.Fatalf("before rebalance the hot block is on %d nodes, want exactly its primary", len(h))
+	}
+	backendBefore := cl.Stats().Serve.BackendReads
+
+	if n := cl.RebalanceHot(); n == 0 {
+		t.Fatal("RebalanceHot tracked nothing")
+	}
+	if cl.HotTracked() == 0 {
+		t.Fatal("hot set empty after rebalance")
+	}
+	hold := holders()
+	if len(hold) < 2 {
+		t.Fatalf("hot block replicated to %d nodes, want >= 2", len(hold))
+	}
+	if got := cl.Stats().Serve.BackendReads; got != backendBefore {
+		t.Fatalf("replication read the backend (%d -> %d reads): replicas must warm via peer fill",
+			backendBefore, got)
+	}
+
+	// Reads now rotate across the replicas: both holders' hit counters move.
+	before := make([]int64, len(hold))
+	for i, n := range hold {
+		before[i] = n.Server().Stats().Hits
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := h.ReadLogicalAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range hold {
+		if n.Server().Stats().Hits == before[i] {
+			t.Fatalf("replica %s saw no reads: hot reads are not rotating", n.ID)
+		}
+	}
+	if !bytes.Equal(buf, payloads[0][:64]) {
+		t.Fatal("rotated reads returned wrong bytes")
+	}
+}
+
+// TestClusterFailoverRoutesAroundFaults pins failure routing: a node
+// whose backend path fails transiently is failed over (the ring
+// successor answers, byte-identically), while a permanent error is
+// returned to the caller without burning the other replicas.
+func TestClusterFailoverRoutesAroundFaults(t *testing.T) {
+	inner := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, inner, "f.sion", 8)
+	sick := &faultFS{FileSystem: inner}
+	scfg := func() *serve.Config {
+		return &serve.Config{CacheBytes: 1 << 20, Retry: &resil.Budget{MaxAttempts: 1}}
+	}
+	cl := New(&Config{VNodes: 16})
+	defer cl.Close()
+	if _, err := cl.Join("sick", sick, "f.sion", scfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Join("well", inner, "f.sion", scfg()); err != nil {
+		t.Fatal(err)
+	}
+	sick.mode.Store(1) // every backend read on "sick" now fails transiently
+	for r, want := range payloads {
+		checkRank(t, cl, r, want) // must succeed via failover
+	}
+	st := cl.Stats()
+	if st.Failovers == 0 {
+		t.Fatal("no failovers counted though one node's backend was down")
+	}
+	if st.AllReplicasDown != 0 {
+		t.Fatalf("%d reads exhausted all replicas though one node was healthy", st.AllReplicasDown)
+	}
+}
+
+// TestClusterPermanentErrorNoFailover pins the other half of the routing
+// policy: a permanent backend error is the backend answering, so it is
+// returned as-is instead of being retried on every replica.
+func TestClusterPermanentErrorNoFailover(t *testing.T) {
+	inner := fsio.NewOS(t.TempDir())
+	writeMultifile(t, inner, "p.sion", 4)
+	bad := &faultFS{FileSystem: inner}
+	cl := New(&Config{VNodes: 16})
+	defer cl.Close()
+	cfg := &serve.Config{CacheBytes: 1 << 20, Retry: &resil.Budget{MaxAttempts: 1}}
+	if _, err := cl.Join("a", bad, "p.sion", cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad.mode.Store(2)
+	h, err := cl.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	_, err = h.ReadLogicalAt(buf, 0)
+	if !errors.Is(err, errPermanentFault) {
+		t.Fatalf("read error %v does not carry the backend's permanent error", err)
+	}
+	if errors.Is(err, serve.ErrDegraded) {
+		t.Fatalf("permanent backend error disguised as degradation: %v", err)
+	}
+	st := cl.Stats()
+	if st.Failovers != 0 || st.AllReplicasDown != 0 {
+		t.Fatalf("permanent error burned replicas: %+v", st)
+	}
+}
+
+// TestClusterAllReplicasDegraded pins the terminal failure mode: when
+// every replica's backend is down and nothing is cached, reads fail with
+// a typed serve.ErrDegraded and the all-replicas-down counter moves.
+func TestClusterAllReplicasDegraded(t *testing.T) {
+	inner := fsio.NewOS(t.TempDir())
+	writeMultifile(t, inner, "d.sion", 4)
+	a := &faultFS{FileSystem: inner}
+	b := &faultFS{FileSystem: inner}
+	cl := New(&Config{VNodes: 16})
+	defer cl.Close()
+	cfg := &serve.Config{CacheBytes: 1 << 20, Retry: &resil.Budget{MaxAttempts: 1}}
+	if _, err := cl.Join("a", a, "d.sion", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Join("b", b, "d.sion", cfg); err != nil {
+		t.Fatal(err)
+	}
+	a.mode.Store(1)
+	b.mode.Store(1)
+	h, err := cl.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if _, err := h.ReadLogicalAt(buf, 0); !errors.Is(err, serve.ErrDegraded) {
+		t.Fatalf("all-down read failed with %v, want a typed serve.ErrDegraded", err)
+	}
+	if cl.Stats().AllReplicasDown == 0 {
+		t.Fatal("all-replicas-down counter did not move")
+	}
+	// Recovery: heal the backends and the same handle serves again.
+	a.mode.Store(0)
+	b.mode.Store(0)
+	if _, err := h.ReadLogicalAt(buf, 0); err != nil && !errors.Is(err, serve.ErrDegraded) {
+		t.Fatalf("healed read: %v", err)
+	}
+}
+
+// TestClusterMembership pins the membership API's error contract.
+func TestClusterMembership(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "m.sion", 4)
+	cl := New(nil)
+	cfg := &serve.Config{CacheBytes: 1 << 20}
+
+	if _, err := cl.Open(0); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Open on an empty cluster: %v, want ErrNoNodes", err)
+	}
+	if _, err := cl.Join("a", fsys, "m.sion", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Join("a", fsys, "m.sion", cfg); err == nil {
+		t.Fatal("duplicate node id joined")
+	}
+	if _, err := cl.Join("b", fsys, "other.sion", cfg); err == nil {
+		t.Fatal("join with a different multifile name succeeded")
+	}
+	if err := cl.Leave("ghost"); err == nil {
+		t.Fatal("leave of an unknown node succeeded")
+	}
+	if _, err := cl.Join("b", fsys, "m.sion", cfg); err != nil {
+		t.Fatal(err)
+	}
+	checkRank(t, cl, 0, payloads[0])
+	if err := cl.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	checkRank(t, cl, 1, payloads[1]) // one node remains: still serving
+	if err := cl.Leave("b"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.Open(0) // layout is known; routing must fail
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadLogicalAt(make([]byte, 8), 0); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("read with no nodes: %v, want ErrNoNodes", err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatalf("second Close: %v (want nil — Close must be idempotent)", err)
+	}
+	if _, err := cl.Join("c", fsys, "m.sion", cfg); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("join after Close: %v, want ErrClusterClosed", err)
+	}
+	if _, err := h.ReadLogicalAt(make([]byte, 8), 0); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("read after Close: %v, want ErrClusterClosed", err)
+	}
+}
+
+// TestClusterConcurrentChurnRace is the -race exercise for the serving
+// tier: concurrent clients Open and read through the router while nodes
+// join and leave, stats/health/hot-rebalance run, and — on a second,
+// live multifile — a tail server's Tail/Follow/Poll/Stats/Health are
+// driven alongside. Reads must stay byte-identical throughout (a core
+// node never leaves, so every block always has a live replica).
+func TestClusterConcurrentChurnRace(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "r.sion", 6)
+	cl := New(&Config{VNodes: 16, HotMinHits: 2})
+	defer cl.Close()
+	for i := 0; i < 2; i++ { // the core: never leaves
+		if _, err := cl.Join(fmt.Sprintf("core-%d", i), fsys, "r.sion", &serve.Config{CacheBytes: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A live multifile for the tail half of the exercise.
+	const tailBytes = 20000
+	tailPayload := testPayload(99, tailBytes)
+	firstCommit := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		mpi.Run(1, func(c *mpi.Comm) {
+			f, err := sion.ParOpen(c, fsys, "live.sion", sion.WriteMode, &sion.Options{
+				ChunkSize: 1024, FSBlockSize: 256, Watermarks: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for off := 0; off < tailBytes; off += 1000 {
+				if _, err := f.Write(tailPayload[off : off+1000]); err != nil {
+					t.Error(err)
+				}
+				if err := f.Flush(); err != nil {
+					t.Error(err)
+				}
+				if off == 0 {
+					close(firstCommit)
+				}
+			}
+			if err := f.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+	}()
+	<-firstCommit
+	ts, err := serve.NewTail(fsys, "live.sion", &serve.Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Cluster readers: fresh handles, full-stream identity checks.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := (g + i) % len(payloads)
+				h, err := cl.Open(r)
+				if err != nil {
+					t.Errorf("churn Open rank %d: %v", r, err)
+					return
+				}
+				got := make([]byte, len(payloads[r]))
+				if _, err := h.ReadLogicalAt(got, 0); err != nil {
+					t.Errorf("churn read rank %d: %v", r, err)
+					return
+				}
+				if !bytes.Equal(got, payloads[r]) {
+					t.Errorf("churn read rank %d: bytes differ", r)
+					return
+				}
+			}
+		}(g)
+	}
+	// Stats / health / hot-rebalance observers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = cl.Stats()
+			_ = cl.Health()
+			_ = cl.Degraded()
+			_ = cl.RebalanceHot()
+			_ = ts.Stats()
+			_ = ts.Health()
+		}
+	}()
+	// Tail follower: drains the live stream to EOF with byte identity.
+	wg.Add(1)
+	var tailOK atomic.Bool
+	go func() {
+		defer wg.Done()
+		sess, err := ts.Tail(0)
+		if err != nil {
+			t.Errorf("Tail: %v", err)
+			return
+		}
+		var got []byte
+		buf := make([]byte, 333)
+		for {
+			n, err := sess.Follow(buf, func() bool { time.Sleep(time.Millisecond); return true })
+			got = append(got, buf[:n]...)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Errorf("Follow: %v", err)
+				}
+				break
+			}
+		}
+		if bytes.Equal(got, tailPayload) {
+			tailOK.Store(true)
+		} else {
+			t.Errorf("tailed stream differs: %d bytes, want %d", len(got), tailBytes)
+		}
+	}()
+	// Membership churn: transient nodes join and leave under the readers.
+	for i := 0; i < 12; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		if _, err := cl.Join(id, fsys, "r.sion", &serve.Config{CacheBytes: 1 << 20}); err != nil {
+			t.Fatalf("churn join %s: %v", id, err)
+		}
+		if err := cl.Leave(id); err != nil {
+			t.Fatalf("churn leave %s: %v", id, err)
+		}
+	}
+	<-writerDone
+	close(stop)
+	wg.Wait()
+	if !tailOK.Load() {
+		t.Fatal("tail follower did not drain the live stream byte-identically")
+	}
+	for r, want := range payloads { // final identity after all churn
+		checkRank(t, cl, r, want)
+	}
+	if got := len(cl.NodeIDs()); got != 2 {
+		t.Fatalf("%d nodes after churn, want the 2 core nodes", got)
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node-%d", i)
+	}
+	return ids
+}
+
+// TestRingLookupCoversAllNodes pins lookup's contract: for any key it
+// returns every node exactly once, deterministically, with the same
+// primary on repeated calls.
+func TestRingLookupCoversAllNodes(t *testing.T) {
+	r := buildRing(ringIDs(5), 64)
+	for k := 0; k < 1000; k++ {
+		key := blockHash(k%3, int64(k))
+		order := r.lookup(key)
+		if len(order) != 5 {
+			t.Fatalf("key %d: lookup returned %d nodes, want 5", k, len(order))
+		}
+		seen := make(map[int]bool)
+		for _, ni := range order {
+			if ni < 0 || ni >= 5 || seen[ni] {
+				t.Fatalf("key %d: bad or duplicate node index %d in %v", k, ni, order)
+			}
+			seen[ni] = true
+		}
+		if again := r.lookup(key); !reflect.DeepEqual(order, again) {
+			t.Fatalf("key %d: lookup not deterministic: %v then %v", k, order, again)
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	if got := buildRing(nil, 64).lookup(12345); got != nil {
+		t.Fatalf("empty ring lookup = %v, want nil", got)
+	}
+	one := buildRing([]string{"solo"}, 64)
+	for k := 0; k < 100; k++ {
+		if got := one.lookup(blockHash(0, int64(k))); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("single-node ring lookup = %v, want [0]", got)
+		}
+	}
+}
+
+// TestRingConsistency pins the property the router exists for: removing
+// one node only remaps the blocks that node owned. Every block whose
+// primary survives keeps it.
+func TestRingConsistency(t *testing.T) {
+	ids := ringIDs(5)
+	full := buildRing(ids, 64)
+	const gone = 3 // drop node-3
+	var rest []string
+	for i, id := range ids {
+		if i != gone {
+			rest = append(rest, id)
+		}
+	}
+	small := buildRing(rest, 64)
+	// Map small's node indexes back to full's.
+	backMap := make([]int, len(rest))
+	for i := range rest {
+		if i < gone {
+			backMap[i] = i
+		} else {
+			backMap[i] = i + 1
+		}
+	}
+	keys, moved := 0, 0
+	for f := 0; f < 2; f++ {
+		for b := int64(0); b < 4096; b++ {
+			key := blockHash(f, b)
+			before := full.lookup(key)[0]
+			after := backMap[small.lookup(key)[0]]
+			keys++
+			if before == gone {
+				moved++
+				continue // had to move somewhere
+			}
+			if after != before {
+				t.Fatalf("block (%d,%d): primary moved %d -> %d though node %d left",
+					f, b, before, after, gone)
+			}
+		}
+	}
+	// The departed node owned roughly 1/5 of the keys; demand it owned
+	// some, and not a wildly disproportionate share.
+	if moved == 0 {
+		t.Fatal("departed node owned no blocks at all")
+	}
+	if frac := float64(moved) / float64(keys); frac > 0.45 {
+		t.Fatalf("departed node owned %.0f%% of blocks — ring badly unbalanced", 100*frac)
+	}
+}
+
+// TestRingBalance demands a roughly even block split across nodes — the
+// property virtual nodes buy.
+func TestRingBalance(t *testing.T) {
+	const nodes = 4
+	r := buildRing(ringIDs(nodes), 64)
+	counts := make([]int, nodes)
+	const blocks = 1 << 15
+	for b := int64(0); b < blocks; b++ {
+		counts[r.lookup(blockHash(0, b))[0]]++
+	}
+	for n, c := range counts {
+		frac := float64(c) / blocks
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("node %d owns %.1f%% of %d blocks (counts %v) — want a rough 25%% split",
+				n, 100*frac, blocks, counts)
+		}
+	}
+}

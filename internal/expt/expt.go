@@ -144,6 +144,7 @@ func All(scale int) []*Result {
 		Table6(scale),
 		Table7(scale),
 		Table8(scale),
+		Table9(scale),
 	}
 }
 
@@ -180,11 +181,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table7
 	case "tab8", "table8":
 		return Table8
+	case "tab9", "table9":
+		return Table9
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9"}
 }

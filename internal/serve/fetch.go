@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"errors"
 	"fmt"
 	"time"
 
@@ -115,10 +114,12 @@ func (f *fetcher) collect(batch []*fetchReq) []*fetchReq {
 
 // serve materializes the union of the batch's blocks — from the cache
 // where a previous batch already fetched them (the singleflight path),
-// otherwise with one retried backend read per dense span — and answers
-// every request individually: a request succeeds iff all of its blocks
-// materialized, so requests fully covered by the cache keep succeeding
-// while the backend is failing or the circuit is open.
+// then from peer caches when a PeerFill hook is installed, otherwise with
+// one retried backend read per dense span — and answers every request
+// individually: a request succeeds iff all of its blocks materialized,
+// and a request whose blocks did not materialize is answered with the
+// error of the span that covered *its own* blocks, so one client's
+// doomed read neither fails nor mislabels the neighbors batched with it.
 //
 // Breaker protocol: when backend spans are needed, the batch consults the
 // file's breaker once — an open circuit fails the needy requests fast with
@@ -141,15 +142,24 @@ func (f *fetcher) serve(batch []*fetchReq) {
 		if data, ok := s.cache.get(blockKey{f.file, b}); ok {
 			want[b] = data
 			s.flightHits.Add(1)
-		} else {
-			missing = append(missing, sion.Extent{Off: b * bs, Len: bs})
+			continue
 		}
+		if s.peerFill != nil {
+			if data, ok := s.peerFill(f.file, b); ok && int64(len(data)) == bs {
+				want[b] = data
+				s.cache.put(blockKey{f.file, b}, data)
+				s.peerFills.Add(1)
+				continue
+			}
+		}
+		missing = append(missing, sion.Extent{Off: b * bs, Len: bs})
 	}
-	var fetchErr error // error covering the blocks that failed to materialize
+	var breakerErr error         // covers every unmaterialized block (fail fast)
+	var blockErr map[int64]error // per-block span errors otherwise
 	if len(missing) > 0 {
 		br := s.breakers[f.file]
 		if br != nil && !br.Allow() {
-			fetchErr = fmt.Errorf("serve: %s: %w", s.physNames[f.file], ErrDegraded)
+			breakerErr = fmt.Errorf("serve: %s: %w", s.physNames[f.file], ErrDegraded)
 		} else {
 			transientGiveUp := false
 			for _, sp := range sion.CoalesceExtents(missing, s.maxSpanGap) {
@@ -157,8 +167,11 @@ func (f *fetcher) serve(batch []*fetchReq) {
 				// A short read past EOF leaves the zero fill of make,
 				// matching the ReadAt contract for unwritten regions.
 				if rerr := s.spanRead(f.fh, f.file, buf, sp.Off); rerr != nil {
-					if fetchErr == nil {
-						fetchErr = rerr
+					if blockErr == nil {
+						blockErr = make(map[int64]error)
+					}
+					for _, e := range sp.Extents {
+						blockErr[e.Off/bs] = rerr
 					}
 					if resil.Classify(rerr) == resil.ClassTransient {
 						transientGiveUp = true
@@ -190,9 +203,11 @@ func (f *fetcher) serve(batch []*fetchReq) {
 		res := fetchRes{data: want}
 		for _, b := range r.blocks {
 			if want[b] == nil {
-				res.err = fetchErr
-				if errors.Is(fetchErr, ErrDegraded) {
+				if breakerErr != nil {
+					res.err = breakerErr
 					s.degraded.Add(1)
+				} else {
+					res.err = blockErr[b]
 				}
 				break
 			}

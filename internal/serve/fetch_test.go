@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/resil"
+)
+
+// rangeFaultFS wraps a FileSystem so that ReadAt calls overlapping an
+// installed offset range fail with that range's error — the minimal tool
+// for making two spans of one fetch batch fail differently.
+type rangeFaultFS struct {
+	fsio.FileSystem
+	mu    sync.Mutex
+	rules []faultRule
+}
+
+type faultRule struct {
+	lo, hi int64
+	err    error
+}
+
+func (r *rangeFaultFS) fail(lo, hi int64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rules = append(r.rules, faultRule{lo, hi, err})
+}
+
+func (r *rangeFaultFS) Open(name string) (fsio.File, error) {
+	fh, err := r.FileSystem.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &rangeFaultFile{File: fh, fs: r}, nil
+}
+
+type rangeFaultFile struct {
+	fsio.File
+	fs *rangeFaultFS
+}
+
+func (f *rangeFaultFile) ReadAt(p []byte, off int64) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	end := off + int64(len(p))
+	for _, r := range f.fs.rules {
+		if off < r.hi && end > r.lo {
+			return 0, r.err
+		}
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// TestFetchPerSpanErrors pins the per-request error attribution of a fetch
+// batch: when two spans of one batch fail with different errors, each
+// request is answered with the error that covered its own blocks — not
+// with whichever span happened to fail first — and a request whose blocks
+// all materialized still succeeds alongside the failures.
+func TestFetchPerSpanErrors(t *testing.T) {
+	inner := fsio.NewOS(t.TempDir())
+	writeMultifile(t, inner, "e.sion", 4)
+	ffs := &rangeFaultFS{FileSystem: inner}
+	s, err := New(ffs, "e.sion", &Config{
+		CacheBytes: 1 << 20,
+		MaxSpanGap: -1, // merge only adjacent blocks: distinct blocks = distinct spans
+		Retry:      &resil.Budget{MaxAttempts: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bs := s.BlockBytes()
+
+	errA := fmt.Errorf("span A is down: %w", fsio.ErrTransient)
+	errB := errors.New("span B is corrupt") // permanent: no ErrTransient wrap
+	ffs.fail(0*bs, 1*bs, errA)              // block 0
+	ffs.fail(8*bs, 9*bs, errB)              // block 8
+
+	reply := func() chan fetchRes { return make(chan fetchRes, 1) }
+	reqA := &fetchReq{blocks: []int64{0}, reply: reply()}
+	reqB := &fetchReq{blocks: []int64{8}, reply: reply()}
+	reqOK := &fetchReq{blocks: []int64{4}, reply: reply()}
+	s.fetchers[0].serve([]*fetchReq{reqA, reqB, reqOK})
+
+	resA, resB, resOK := <-reqA.reply, <-reqB.reply, <-reqOK.reply
+	if !errors.Is(resA.err, errA) {
+		t.Fatalf("request for block 0 got %v, want its own span error %v", resA.err, errA)
+	}
+	if errors.Is(resA.err, errB) {
+		t.Fatalf("request for block 0 was attributed span B's error: %v", resA.err)
+	}
+	if !errors.Is(resB.err, errB) {
+		t.Fatalf("request for block 8 got %v, want its own span error %v", resB.err, errB)
+	}
+	if errors.Is(resB.err, errA) {
+		t.Fatalf("request for block 8 was attributed span A's error: %v", resB.err)
+	}
+	// The misclassification the bug caused: block 8's failure is permanent,
+	// and must not look transient because span A failed transiently first.
+	if c := resil.Classify(resB.err); c != resil.ClassPermanent {
+		t.Fatalf("request for block 8 classified %v, want permanent", c)
+	}
+	if c := resil.Classify(resA.err); c != resil.ClassTransient {
+		t.Fatalf("request for block 0 classified %v, want transient", c)
+	}
+	if resOK.err != nil {
+		t.Fatalf("request for healthy block 4 failed alongside the batch: %v", resOK.err)
+	}
+	if int64(len(resOK.data[4])) != bs {
+		t.Fatalf("healthy block 4 materialized %d bytes, want %d", len(resOK.data[4]), bs)
+	}
+}
+
+// TestPeerFillSkipsBackend pins the peer-fill fetch path: a node whose
+// PeerFill hook can produce a block caches it without issuing any backend
+// read, serves it byte-identically, and counts it in Stats.PeerFills.
+func TestPeerFillSkipsBackend(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	payloads := writeMultifile(t, fsys, "p.sion", 4)
+
+	a, err := New(fsys, "p.sion", &Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(fsys, "p.sion", &Config{
+		CacheBytes: 1 << 20,
+		PeerFill:   func(file int, block int64) ([]byte, bool) { return a.Peek(file, block) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Warm node a with rank 0's whole stream.
+	ha, err := a.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads[0]
+	got := make([]byte, len(want))
+	if _, err := ha.ReadLogicalAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("node a: bytes differ")
+	}
+	if n := a.Stats().BackendReads; n == 0 {
+		t.Fatal("node a issued no backend reads warming up")
+	}
+
+	// Node b reads the same rank: every miss must fill from a's cache.
+	hb, err := b.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, len(want))
+	if _, err := hb.ReadLogicalAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("node b: peer-filled bytes differ")
+	}
+	st := b.Stats()
+	if st.BackendReads != 0 {
+		t.Fatalf("node b issued %d backend reads despite peer fill", st.BackendReads)
+	}
+	if st.PeerFills == 0 {
+		t.Fatal("node b counted no peer fills")
+	}
+	// Peek is passive: asking for an uncached block is not a miss.
+	misses := a.Stats().Misses
+	if _, ok := a.Peek(0, 1<<30); ok {
+		t.Fatal("Peek invented a block")
+	}
+	if _, ok := a.Peek(-1, 0); ok {
+		t.Fatal("Peek accepted a negative file index")
+	}
+	if got := a.Stats().Misses; got != misses {
+		t.Fatalf("Peek moved the miss counter %d -> %d", misses, got)
+	}
+}
+
+// TestHotBlocksReportsWorkingSet pins the shard-LRU hit-count report the
+// cluster router replicates from: repeatedly read blocks accumulate hits,
+// the report is sorted hottest-first, and the threshold filters cold ones.
+func TestHotBlocksReportsWorkingSet(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	writeMultifile(t, fsys, "h.sion", 4)
+	s, err := New(fsys, "h.sion", &Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h, err := s.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < 5; i++ { // block of offset 0 read 5x
+		if _, err := h.ReadLogicalAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.ReadLogicalAt(buf, h.LogicalSize()-64); err != nil { // tail block once
+		t.Fatal(err)
+	}
+	hot := s.HotBlocks(4)
+	if len(hot) == 0 {
+		t.Fatal("no hot blocks reported after 5 identical reads")
+	}
+	if hot[0].Hits < 4 {
+		t.Fatalf("hottest block has %d hits, want >= 4", hot[0].Hits)
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Hits > hot[i-1].Hits {
+			t.Fatal("HotBlocks not sorted hottest-first")
+		}
+	}
+	all := s.HotBlocks(0) // treated as 1
+	for _, hb := range all {
+		if hb.Hits < 1 {
+			t.Fatalf("HotBlocks(0) reported a zero-hit block: %+v", hb)
+		}
+	}
+}

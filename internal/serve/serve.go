@@ -118,6 +118,16 @@ type Config struct {
 	// breaker absorbs before admitting a half-open probe
 	// (0 = resil.DefaultBreakerCooldown).
 	BreakerCooldown int
+
+	// PeerFill, when non-nil, is consulted by the fetchers for every
+	// missed block before any backend read is issued: if it returns the
+	// block's full payload (exactly BlockBytes long, zero-filled past EOF
+	// like a backend fetch), the block is cached locally without touching
+	// the backend. internal/cluster wires this to the other nodes' Peek so
+	// a block is read from the filesystem once per cluster, not once per
+	// node. The hook runs on the fetcher goroutine and must not call back
+	// into this Server.
+	PeerFill func(file int, block int64) ([]byte, bool)
 }
 
 // Stats is a snapshot of a Server's request counters.
@@ -132,6 +142,7 @@ type Stats struct {
 	CachedBytes   int64 // bytes resident in the cache now
 	HandlesOpened int64 // client sessions opened
 	TailPolls     int64 // watermark refreshes issued (tail servers)
+	PeerFills     int64 // missed blocks filled from a peer cache instead of the backend
 	Retries       int64 // backend span reads re-attempted after a transient failure
 	GiveUps       int64 // span reads that exhausted their retry budget
 	Degraded      int64 // requests failed fast with ErrDegraded (breaker open)
@@ -156,6 +167,7 @@ type Server struct {
 	batchWindow time.Duration
 	retry       resil.Budget
 	breakerCfg  [2]int // resolved {threshold, cooldown}; threshold < 0 disables
+	peerFill    func(file int, block int64) ([]byte, bool)
 
 	// Tail mode (NewTail): the live layout and per-rank committed sizes
 	// from the last Poll. tailMu serializes all TailLayout access; no path
@@ -168,7 +180,7 @@ type Server struct {
 	hits, misses, flightHits   atomic.Int64
 	backendReads, backendBytes atomic.Int64
 	servedBytes, handles       atomic.Int64
-	tailPolls                  atomic.Int64
+	tailPolls, peerFills       atomic.Int64
 	retryCtrs                  resil.Counters
 	degraded                   atomic.Int64
 }
@@ -243,6 +255,7 @@ func (s *Server) applyResilience(c Config) {
 		s.retry = *c.Retry
 	}
 	s.breakerCfg = [2]int{c.BreakerThreshold, c.BreakerCooldown}
+	s.peerFill = c.PeerFill
 }
 
 // openPhysical opens one physical file and starts its fetcher (plus its
@@ -287,6 +300,72 @@ func (s *Server) spanRead(fh fsio.File, file int, buf []byte, off int64) error {
 // a tail server, whose metadata is live — see NewTail).
 func (s *Server) Layout() *sion.Layout { return s.layout }
 
+// BlockBytes returns the resolved cache-block size. Peers of one cluster
+// must agree on it (internal/cluster enforces this at Join).
+func (s *Server) BlockBytes() int64 { return s.blockBytes }
+
+// Peek returns block `block` of physical file `file` if (and only if) it
+// is resident in the cache: no fetch is triggered, no backend read is
+// issued, and the server's hit/miss counters do not move. The returned
+// slice is shared and must be treated as immutable. This is the answer
+// side of the cluster peer-fill protocol — a router asks Peek on peers
+// before letting a node's fetcher touch the backend.
+func (s *Server) Peek(file int, block int64) ([]byte, bool) {
+	if file < 0 || file >= len(s.physNames) || block < 0 {
+		return nil, false
+	}
+	return s.cache.get(blockKey{file, block})
+}
+
+// HotBlock is one cache block with its observed hit count, the unit of
+// the hot-set report the cluster router replicates from.
+type HotBlock struct {
+	File  int
+	Block int64
+	Hits  int64
+}
+
+// HotBlocks lists the cache-resident blocks whose per-entry hit count
+// (accumulated by the shard LRUs since the block was last inserted) is at
+// least minHits, hottest first; ties break on (file, block) so the order
+// is deterministic. minHits < 1 is treated as 1.
+func (s *Server) HotBlocks(minHits int64) []HotBlock {
+	if minHits < 1 {
+		minHits = 1
+	}
+	return s.cache.hot(minHits)
+}
+
+// FileReaderAt reads a window of one physical multifile member through
+// some serving tier: a single Server (cache + fetchers), or a cluster
+// router fanning blocks out across many of them. Handles are generic over
+// it, which is what lets cluster.Open reuse the Handle semantics
+// unchanged.
+type FileReaderAt interface {
+	// ReadFileAt fills p with bytes [off, off+len(p)) of physical file
+	// `file`. Reads past EOF keep the zero fill (the multifile layout
+	// never maps logical bytes there).
+	ReadFileAt(file int, p []byte, off int64) error
+}
+
+// ReadFileAt serves [off, off+len(p)) of physical file `file` through the
+// cache, delegating misses to the file's fetcher, and counts the bytes as
+// served. It is the exported form of the internal read path, used by
+// Handles and by cluster routers addressing this node.
+func (s *Server) ReadFileAt(file int, p []byte, off int64) error {
+	if file < 0 || file >= len(s.fetchers) {
+		return fmt.Errorf("serve: %s: physical file %d outside 0..%d", s.name, file, len(s.fetchers)-1)
+	}
+	if off < 0 {
+		return fmt.Errorf("serve: %s: negative physical offset %d", s.name, off)
+	}
+	if err := s.readAt(file, p, off); err != nil {
+		return err
+	}
+	s.servedBytes.Add(int64(len(p)))
+	return nil
+}
+
 // Stats returns a snapshot of the request counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -300,6 +379,7 @@ func (s *Server) Stats() Stats {
 		CachedBytes:   s.cache.cachedBytes(),
 		HandlesOpened: s.handles.Load(),
 		TailPolls:     s.tailPolls.Load(),
+		PeerFills:     s.peerFills.Load(),
 		Retries:       s.retryCtrs.Retries.Load(),
 		GiveUps:       s.retryCtrs.GiveUps.Load(),
 		Degraded:      s.degraded.Load(),
@@ -441,7 +521,8 @@ func copyBlockPortion(p []byte, off, b, bs int64, data []byte) {
 // Seek share the cursor and belong to a single goroutine — concurrent
 // clients each Open their own Handle.
 type Handle struct {
-	s      *Server
+	r      FileReaderAt
+	name   string // multifile base name (error messages)
 	rank   int
 	blocks []sion.BlockExtent
 	base   []int64 // logical offset of each block extent's first byte
@@ -455,6 +536,24 @@ var (
 	_ sion.LogicalReaderAt = (*Handle)(nil)
 )
 
+// NewHandle builds a read session on writer rank `rank` of the given
+// layout, reading through r — a *Server (Open does exactly this) or any
+// other FileReaderAt, e.g. a cluster router. It touches only the layout
+// snapshot; no backend request is issued.
+func NewHandle(layout *sion.Layout, rank int, r FileReaderAt) (*Handle, error) {
+	if rank < 0 || rank >= layout.NTasks() {
+		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", layout.Name(), rank, layout.NTasks()-1)
+	}
+	blocks := layout.RankBlocks(rank)
+	base := make([]int64, len(blocks))
+	var size int64
+	for b, be := range blocks {
+		base[b] = size
+		size += be.Bytes
+	}
+	return &Handle{r: r, name: layout.Name(), rank: rank, blocks: blocks, base: base, size: size}, nil
+}
+
 // Open starts a read session on the logical file of writer rank `rank`.
 // It touches only the layout snapshot — no backend request is issued.
 func (s *Server) Open(rank int) (*Handle, error) {
@@ -462,17 +561,14 @@ func (s *Server) Open(rank int) (*Handle, error) {
 		return nil, fmt.Errorf("serve: %s: tail server (live multifile) — use Tail, not Open", s.name)
 	}
 	if rank < 0 || rank >= s.layout.NTasks() {
-		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", s.layout.Name(), rank, s.layout.NTasks()-1)
+		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", s.name, rank, s.layout.NTasks()-1)
 	}
-	blocks := s.layout.RankBlocks(rank)
-	base := make([]int64, len(blocks))
-	var size int64
-	for b, be := range blocks {
-		base[b] = size
-		size += be.Bytes
+	h, err := NewHandle(s.layout, rank, s)
+	if err != nil {
+		return nil, err
 	}
 	s.handles.Add(1)
-	return &Handle{s: s, rank: rank, blocks: blocks, base: base, size: size}, nil
+	return h, nil
 }
 
 // Rank returns the writer rank this handle reads.
@@ -486,7 +582,7 @@ func (h *Handle) LogicalSize() int64 { return h.size }
 // on short reads past the end (sion.LogicalReaderAt semantics).
 func (h *Handle) ReadLogicalAt(p []byte, off int64) (int, error) {
 	if off < 0 {
-		return 0, fmt.Errorf("serve: %s: negative logical offset", h.s.layout.Name())
+		return 0, fmt.Errorf("serve: %s: negative logical offset", h.name)
 	}
 	// Locate the block extent containing off.
 	block := sort.Search(len(h.base), func(i int) bool { return h.base[i] > off })
@@ -506,14 +602,13 @@ func (h *Handle) ReadLogicalAt(p []byte, off int64) (int, error) {
 		if n > avail {
 			n = avail
 		}
-		if err := h.s.readAt(be.File, p[:n], be.Off+rel); err != nil {
+		if err := h.r.ReadFileAt(be.File, p[:n], be.Off+rel); err != nil {
 			return total, err
 		}
 		p = p[n:]
 		off += n
 		total += int(n)
 	}
-	h.s.servedBytes.Add(int64(total))
 	if len(p) > 0 {
 		return total, io.EOF
 	}

@@ -93,8 +93,10 @@ func (s *Server) Poll() (bool, error) {
 		// The block that contained the old frontier may have grown; drop
 		// it (belt-and-braces — frontier bytes are never cached, see
 		// Session.Read) unless the old frontier was block-aligned, in
-		// which case the block below it was already complete.
-		if prev > 0 { // there was a frontier block
+		// which case the block below it was already complete and evicting
+		// it would only force a needless refetch of a hot, immutable block
+		// on every aligned commit.
+		if prev > 0 && prev%bs != 0 { // there was a partially filled frontier block
 			if ext, _ := s.tail.RankCommitted(r); len(ext) > 0 {
 				if file, phys, ok := physAt(ext, prev-1); ok {
 					s.cache.invalidate(blockKey{file, phys / bs})

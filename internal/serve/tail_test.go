@@ -171,6 +171,98 @@ func TestServeTailLiveStream(t *testing.T) {
 	}
 }
 
+// TestServeTailAlignedCommitKeepsCache pins the Poll invalidation rule: a
+// block-aligned old frontier means the block below it was already
+// complete, so advancing past it must NOT evict that block — a re-read
+// after the commit stays a cache hit with no new backend read.
+func TestServeTailAlignedCommitKeepsCache(t *testing.T) {
+	fsys := fsio.NewOS(t.TempDir())
+	const bs = 256
+	payload := testPayload(3, 4*bs)
+	stepDone := make(chan struct{})
+	resume := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		mpi.Run(1, func(c *mpi.Comm) {
+			f, err := sion.ParOpen(c, fsys, "a.sion", sion.WriteMode, &sion.Options{
+				ChunkSize: 1024, FSBlockSize: bs, Watermarks: true,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for st := 0; st < 2; st++ { // two exactly block-aligned commits
+				if _, err := f.Write(payload[st*bs : (st+1)*bs]); err != nil {
+					t.Errorf("step %d: %v", st, err)
+				}
+				if err := f.Flush(); err != nil {
+					t.Errorf("step %d: Flush: %v", st, err)
+				}
+				stepDone <- struct{}{}
+				<-resume
+			}
+			if err := f.Close(); err != nil {
+				t.Error(err)
+			}
+		})
+	}()
+	defer func() { resume <- struct{}{}; <-writerDone }() // let the writer finish
+
+	<-stepDone // first aligned block committed
+	s, err := NewTail(fsys, "a.sion", &Config{CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sess, err := s.Tail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the committed block: it lies wholly below the (aligned)
+	// frontier, so it is served through the cache.
+	buf := make([]byte, bs)
+	if n, err := sess.Read(buf); n != bs || err != nil {
+		t.Fatalf("first read: (%d, %v), want (%d, nil)", n, err, bs)
+	}
+	if !bytes.Equal(buf, payload[:bs]) {
+		t.Fatal("first block differs")
+	}
+	st0 := s.Stats()
+	if st0.Misses == 0 {
+		t.Fatal("first read should have missed into the cache")
+	}
+
+	resume <- struct{}{}
+	<-stepDone // second aligned block committed
+	if adv, err := s.Poll(); err != nil || !adv {
+		t.Fatalf("Poll: (%v, %v), want advance", adv, err)
+	}
+	// Re-read the first block through a fresh session: the aligned advance
+	// must not have evicted it — no new miss, no new backend read, one
+	// more hit.
+	sess2, err := s.Tail(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := sess2.Read(buf); n != bs || err != nil {
+		t.Fatalf("re-read: (%d, %v), want (%d, nil)", n, err, bs)
+	}
+	if !bytes.Equal(buf, payload[:bs]) {
+		t.Fatal("re-read block differs")
+	}
+	st1 := s.Stats()
+	if st1.Misses != st0.Misses {
+		t.Fatalf("aligned commit evicted the complete block: misses %d -> %d", st0.Misses, st1.Misses)
+	}
+	if st1.BackendReads != st0.BackendReads {
+		t.Fatalf("aligned commit forced a refetch: backend reads %d -> %d", st0.BackendReads, st1.BackendReads)
+	}
+	if st1.Hits != st0.Hits+1 {
+		t.Fatalf("re-read was not a cache hit: hits %d -> %d", st0.Hits, st1.Hits)
+	}
+}
+
 // TestServeTailFollowBlocksUntilData exercises Follow's poll loop: a
 // reader blocked at the watermark resumes when the writer commits more.
 func TestServeTailFollowBlocksUntilData(t *testing.T) {
