@@ -56,6 +56,27 @@ func TestCompareDirections(t *testing.T) {
 	}
 }
 
+// TestCompareAllocsGated pins allocs/op's place in the gate: a growth
+// beyond tolerance fails (allocation counts are machine-independent),
+// while B/op and ns/op stay ungated however far they move.
+func TestCompareAllocsGated(t *testing.T) {
+	base := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"allocs/op": 1000, "B/op": 4096, "ns/op": 5e6}),
+	}}
+	cur := &Doc{Benchmarks: []Benchmark{
+		bench("BenchmarkA", map[string]float64{"allocs/op": 1300, "B/op": 1 << 30, "ns/op": 5e9}),
+	}}
+	regs := compare(base, cur, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("allocs/op growth not (solely) flagged: %v", regs)
+	}
+	// Within tolerance (and shrinking) is clean.
+	cur.Benchmarks[0].Metrics["allocs/op"] = 900
+	if regs := compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("allocs/op improvement flagged: %v", regs)
+	}
+}
+
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	base := &Doc{Benchmarks: []Benchmark{bench("BenchmarkGone", map[string]float64{"sim-create-s": 1})}}
 	cur := &Doc{Benchmarks: []Benchmark{bench("BenchmarkNew", map[string]float64{"sim-create-s": 1})}}

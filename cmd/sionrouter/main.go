@@ -17,6 +17,9 @@
 //	GET  /rank/<r>               the rank's whole logical stream
 //	GET  /rank/<r>?off=O&n=N     N bytes from logical offset O
 //	GET  /stats                  JSON cluster + per-node counters
+//	GET  /metrics                Prometheus text exposition: router-level
+//	                             cluster_* families plus every node's
+//	                             serve_* families labeled node=<id>
 //	GET  /healthz                aggregated breaker state; 503 only when
 //	                             every node is degraded (single nodes are
 //	                             routed around, not surfaced)
@@ -28,6 +31,11 @@
 // Reads that lose every ring replica answer 503 + Retry-After, mirroring
 // sionserve's degraded contract. A hot-set rebalance also runs on a
 // background ticker.
+//
+// With -pprof the net/http/pprof handlers are mounted under
+// /debug/pprof/. Every response echoes an X-Request-ID (adopted from the
+// request or generated); requests slower than -slow-ms are logged with
+// the request's breadcrumb trail (cache hits, peer fills, failovers).
 package main
 
 import (
@@ -46,6 +54,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fsio"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/serve"
 )
@@ -53,18 +62,19 @@ import (
 // router carries the cluster plus everything needed to admit new nodes
 // at runtime (join re-uses the CLI's backend and per-node serve config).
 type router struct {
-	c    *cluster.Cluster
-	fsys fsio.FileSystem
-	name string
-	scfg *serve.Config
+	c     *cluster.Cluster
+	fsys  fsio.FileSystem
+	name  string
+	scfg  *serve.Config
+	slow  time.Duration // slow-request log threshold (0 disables)
+	pprof bool          // mount /debug/pprof/
 }
 
-// logf reports response-write failures — errors after the status line is
-// committed, which can no longer become an HTTP error for the client.
-// Swappable so handler tests can capture it.
-var logf = func(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-}
+// logger is the process-wide structured logger: response-write failures —
+// errors after the status line is committed, which can no longer become
+// an HTTP error for the client — plus the middleware's slow-request
+// lines. Handler tests capture records via logger.SetHook.
+var logger = obs.NewLogger(os.Stderr)
 
 const (
 	shutdownTimeout = 10 * time.Second
@@ -82,20 +92,30 @@ func main() {
 	replicate := flag.Int("replicate", 2, "ring replicas per hot block, primary included (1 disables)")
 	hotMin := flag.Int64("hot-min", 64, "cache hits at which a block counts as hot")
 	vnodes := flag.Int("vnodes", 64, "virtual ring points per node")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowMs := flag.Int64("slow-ms", 500,
+		"log requests slower than this many milliseconds with their breadcrumb trail (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 || *nodes < 1 {
 		fmt.Fprintln(os.Stderr, "usage: sionrouter [flags] <multifile> (see -h)")
 		os.Exit(2)
 	}
 
+	// One registry for the whole topology: the router's cluster_* families,
+	// each node's serve_* families (labeled node=<id> at Join), and the
+	// shared instrumented OS backend's fsio_* families.
+	reg := obs.NewRegistry()
 	rt := &router{
 		c: cluster.New(&cluster.Config{
 			VNodes:       *vnodes,
 			ReplicateHot: *replicate,
 			HotMinHits:   *hotMin,
+			Metrics:      reg,
 		}),
-		fsys: fsio.NewOS(""),
-		name: flag.Arg(0),
+		fsys:  fsio.Instrument(fsio.NewOS(""), fsio.NewMeter(reg, "os")),
+		name:  flag.Arg(0),
+		slow:  time.Duration(*slowMs) * time.Millisecond,
+		pprof: *pprofOn,
 		scfg: &serve.Config{
 			CacheBytes: *cacheMB << 20,
 			BlockBytes: *block,
@@ -108,7 +128,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: rt.mux()}
+	httpSrv := &http.Server{Addr: *addr, Handler: rt.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -160,10 +180,21 @@ func (rt *router) mux() *http.ServeMux {
 	mux.HandleFunc("/ranks", rt.handleRanks)
 	mux.HandleFunc("/rank/", rt.handleRank)
 	mux.HandleFunc("/stats", rt.handleStats)
+	mux.Handle("/metrics", obs.Handler(rt.c.Metrics()))
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/cluster", rt.handleCluster)
 	mux.HandleFunc("/cluster/", rt.handleClusterOp)
+	if rt.pprof {
+		obs.MountPprof(mux)
+	}
 	return mux
+}
+
+// handler is the mux behind the shared observability middleware:
+// X-Request-ID assignment/echo, a per-request breadcrumb span, and the
+// slow-request log.
+func (rt *router) handler() http.Handler {
+	return obs.HTTPMiddleware(rt.mux(), logger, rt.slow)
 }
 
 func (rt *router) handleRanks(w http.ResponseWriter, _ *http.Request) {
@@ -269,6 +300,9 @@ func (rt *router) handleRank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	// Thread the request's span down the cluster data path so the layers
+	// below leave breadcrumbs (cache hit / peer fill / failover) on it.
+	h.SetSpan(obs.SpanFrom(r.Context()))
 	rt.serveBytes(w, r, h)
 }
 
@@ -322,12 +356,14 @@ func (rt *router) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Ha
 		m := min(n-sent, serveChunk)
 		if sent > 0 { // the first chunk was read before the headers
 			if _, err := h.ReadLogicalAt(buf[:m], off+sent); err != nil {
-				logf("sionrouter: %s at byte %d of %d: %v", r.URL.Path, sent, n, err)
+				logger.Error("reading stream", "req", obs.SpanFrom(r.Context()).ID(),
+					"path", r.URL.Path, "at", sent, "of", n, "err", err)
 				return
 			}
 		}
 		if _, err := w.Write(buf[:m]); err != nil {
-			logf("sionrouter: %s at byte %d of %d: writing response: %v", r.URL.Path, sent, n, err)
+			logger.Error("writing response", "req", obs.SpanFrom(r.Context()).ID(),
+				"path", r.URL.Path, "at", sent, "of", n, "err", err)
 			return
 		}
 		sent += m
@@ -352,11 +388,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
-		logf("sionrouter: encoding response: %v", err)
+		logger.Error("encoding response", "err", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(append(data, '\n')); err != nil {
-		logf("sionrouter: writing response: %v", err)
+		logger.Error("writing response", "err", err)
 	}
 }

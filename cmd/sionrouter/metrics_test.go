@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// familySum sums every sample of a counter/gauge family across its label
+// sets (all nodes) in a Prometheus text exposition.
+func familySum(t *testing.T, body, family string) int64 {
+	t.Helper()
+	var sum int64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer family name sharing this prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing sample %q: %v", line, err)
+		}
+		sum += int64(v)
+	}
+	return sum
+}
+
+// TestRouterMetricsMatchesStats seeds reads through the ring and pins the
+// acceptance contract on the cluster side: /metrics parses cleanly, the
+// router-level cluster_* families agree exactly with /stats, and the
+// node-labeled serve_* families sum to the cluster's aggregate.
+func TestRouterMetricsMatchesStats(t *testing.T) {
+	rt, _ := newTestRouter(t)
+	h := rt.handler()
+	for i := 0; i < 2; i++ { // second pass hits the warmed caches
+		for r := 0; r < rtRanks; r++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/rank/%d", r), nil))
+			if rec.Code != 200 {
+				t.Fatalf("rank %d: status %d", r, rec.Code)
+			}
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if id := rec.Header().Get(obs.RequestIDHeader); len(id) != 16 {
+		t.Errorf("request ID %q, want 16 hex chars", id)
+	}
+	body := rec.Body.String()
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+
+	st := rt.c.Stats()
+	if st.Requests == 0 || st.Serve.Hits == 0 {
+		t.Fatalf("workload did not seed the counters: %+v", st)
+	}
+	for _, c := range []struct {
+		family string
+		want   int64
+	}{
+		{"cluster_requests_total", st.Requests},
+		{"cluster_failovers_total", st.Failovers},
+		{"cluster_handles_opened_total", st.HandlesOpened},
+		{"serve_cache_hits_total", st.Serve.Hits},
+		{"serve_cache_misses_total", st.Serve.Misses},
+		{"serve_backend_reads_total", st.Serve.BackendReads},
+		{"serve_served_bytes_total", st.Serve.ServedBytes},
+	} {
+		if got := familySum(t, body, c.family); got != c.want {
+			t.Errorf("%s = %d, want %d (Stats)", c.family, got, c.want)
+		}
+	}
+	// Every node's serve families carry its identity.
+	for _, id := range rt.c.NodeIDs() {
+		if !strings.Contains(body, `node="`+id+`"`) {
+			t.Errorf("exposition is missing node label %q", id)
+		}
+	}
+}

@@ -15,9 +15,16 @@
 //	GET /rank/<r>/keys          JSON list of the rank's record keys
 //	GET /rank/<r>/key/<k>       concatenated payload of key k's records
 //	GET /stats                  JSON cache/backend counters
+//	GET /metrics                Prometheus text exposition of every
+//	                            instrument (serve_*, fsio_*)
 //	GET /healthz                per-physical-file circuit-breaker state;
 //	                            200 when all circuits are closed, 503 when
 //	                            any physical file is degraded
+//
+// With -pprof the net/http/pprof handlers are mounted under
+// /debug/pprof/. Every response echoes an X-Request-ID (adopted from the
+// request or generated); requests slower than -slow-ms are logged with
+// the request's breadcrumb trail (cache hits, backend reads, retries).
 //
 // Resilience: backend span reads retry transient faults under a bounded
 // backoff budget (-retries), and each physical file sits behind a circuit
@@ -50,23 +57,26 @@ import (
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/serve"
 )
 
 type server struct {
-	srv *serve.Server
+	srv   *serve.Server
+	slow  time.Duration // slow-request log threshold (0 disables)
+	pprof bool          // mount /debug/pprof/
 
 	mu   sync.Mutex
 	keys map[int]*sion.KeyReader // lazily built per rank, shared by clients
 }
 
-// logf reports response-write failures — errors that surface after the
-// status line is committed, so they can no longer turn into an HTTP error
-// for the client. Swappable so handler tests can capture it.
-var logf = func(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-}
+// logger is the process-wide structured logger. It mostly reports
+// response-write failures — errors that surface after the status line is
+// committed, so they can no longer turn into an HTTP error for the
+// client — plus the middleware's slow-request lines. Handler tests
+// capture records via logger.SetHook.
+var logger = obs.NewLogger(os.Stderr)
 
 // shutdownTimeout bounds the in-flight request drain on SIGINT/SIGTERM.
 const shutdownTimeout = 10 * time.Second
@@ -77,22 +87,36 @@ func main() {
 	block := flag.Int64("block", 0, "cache block size in bytes (0 = the multifile's FS block size)")
 	retries := flag.Int("retries", resil.DefaultMaxAttempts,
 		"max attempts per backend read under transient faults (1 disables retries)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	slowMs := flag.Int64("slow-ms", 500,
+		"log requests slower than this many milliseconds with their breadcrumb trail (0 disables)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] [-retries 4] <multifile>")
 		os.Exit(2)
 	}
-	srv, err := serve.New(fsio.NewOS(""), flag.Arg(0), &serve.Config{
+	// One registry carries the whole process: the serve layer's families
+	// plus the instrumented OS backend's fsio_* families, so /metrics shows
+	// cache behavior next to the raw I/O it turns into.
+	reg := obs.NewRegistry()
+	fsys := fsio.Instrument(fsio.NewOS(""), fsio.NewMeter(reg, "os"))
+	srv, err := serve.New(fsys, flag.Arg(0), &serve.Config{
 		CacheBytes: *cacheMB << 20,
 		BlockBytes: *block,
 		Retry:      &resil.Budget{MaxAttempts: *retries},
+		Metrics:    reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sionserve:", err)
 		os.Exit(1)
 	}
-	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
-	httpSrv := &http.Server{Addr: *addr, Handler: s.mux()}
+	s := &server{
+		srv:   srv,
+		slow:  time.Duration(*slowMs) * time.Millisecond,
+		pprof: *pprofOn,
+		keys:  make(map[int]*sion.KeyReader),
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.handler()}
 
 	// Graceful shutdown: stop accepting, drain in-flight requests under a
 	// deadline, then release the serve layer (fetchers + file handles).
@@ -130,8 +154,19 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("/ranks", s.handleRanks)
 	mux.HandleFunc("/rank/", s.handleRank)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", obs.Handler(s.srv.Metrics()))
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.pprof {
+		obs.MountPprof(mux)
+	}
 	return mux
+}
+
+// handler is the mux behind the shared observability middleware:
+// X-Request-ID assignment/echo, a per-request breadcrumb span, and the
+// slow-request log.
+func (s *server) handler() http.Handler {
+	return obs.HTTPMiddleware(s.mux(), logger, s.slow)
 }
 
 // handleHealthz reports per-physical-file breaker state: 200 with all
@@ -207,6 +242,9 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	// Thread the request's span down the read path so the layers below
+	// leave breadcrumbs (cache hit / backend read / retry) on it.
+	h.SetSpan(obs.SpanFrom(r.Context()))
 	switch {
 	case len(parts) == 1:
 		s.serveBytes(w, r, h)
@@ -235,7 +273,8 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		if _, err := w.Write(data); err != nil {
-			logf("sionserve: rank %d key %d: writing response: %v", rank, key, err)
+			logger.Error("writing response",
+				"req", obs.SpanFrom(r.Context()).ID(), "rank", rank, "key", key, "err", err)
 		}
 	default:
 		http.NotFound(w, r)
@@ -300,12 +339,14 @@ func (s *server) serveBytes(w http.ResponseWriter, r *http.Request, h *serve.Han
 		m := min(n-sent, serveChunk)
 		if sent > 0 { // the first chunk was read before the headers
 			if _, err := h.ReadLogicalAt(buf[:m], off+sent); err != nil {
-				logf("sionserve: %s at byte %d of %d: %v", r.URL.Path, sent, n, err)
+				logger.Error("reading stream", "req", obs.SpanFrom(r.Context()).ID(),
+					"path", r.URL.Path, "at", sent, "of", n, "err", err)
 				return
 			}
 		}
 		if _, err := w.Write(buf[:m]); err != nil {
-			logf("sionserve: %s at byte %d of %d: writing response: %v", r.URL.Path, sent, n, err)
+			logger.Error("writing response", "req", obs.SpanFrom(r.Context()).ID(),
+				"path", r.URL.Path, "at", sent, "of", n, "err", err)
 			return
 		}
 		sent += m
@@ -346,11 +387,11 @@ func writeJSON(w http.ResponseWriter, v any) {
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
-		logf("sionserve: encoding response: %v", err)
+		logger.Error("encoding response", "err", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(append(data, '\n')); err != nil {
-		logf("sionserve: writing response: %v", err)
+		logger.Error("writing response", "err", err)
 	}
 }

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	sion "repro/internal/core"
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// newMetricsServer is newTestServer with the full observability wiring of
+// main(): one registry shared by the instrumented backend and the serve
+// layer, and the middleware-wrapped handler.
+func newMetricsServer(t *testing.T) (*server, http.Handler) {
+	t.Helper()
+	fsys := fsio.NewOS(t.TempDir())
+	mpi.Run(tsRanks, func(c *mpi.Comm) {
+		f, err := sion.ParOpen(c, fsys, "data", sion.WriteMode, &sion.Options{ChunkSize: 2048})
+		if err != nil {
+			t.Errorf("rank %d: ParOpen: %v", c.Rank(), err)
+			return
+		}
+		if _, err := f.Write(tsPayload(c.Rank(), tsPerRank)); err != nil {
+			t.Errorf("rank %d: Write: %v", c.Rank(), err)
+		}
+		if err := f.Close(); err != nil {
+			t.Errorf("rank %d: Close: %v", c.Rank(), err)
+		}
+	})
+	reg := obs.NewRegistry()
+	srv, err := serve.New(fsio.Instrument(fsys, fsio.NewMeter(reg, "os")), "data",
+		&serve.Config{Metrics: reg})
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	s := &server{srv: srv, keys: make(map[int]*sion.KeyReader)}
+	return s, s.handler()
+}
+
+// familySum sums every sample of a counter/gauge family across its label
+// sets in a Prometheus text exposition.
+func familySum(t *testing.T, body, family string) int64 {
+	t.Helper()
+	var sum int64
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a longer family name sharing this prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parsing sample %q: %v", line, err)
+		}
+		sum += int64(v)
+	}
+	return sum
+}
+
+// TestMetricsMatchesStats seeds a workload and pins the acceptance
+// contract: /metrics parses cleanly and its serve_* families agree
+// exactly with /stats' snapshot (they are the same instruments).
+func TestMetricsMatchesStats(t *testing.T) {
+	s, h := newMetricsServer(t)
+	for i := 0; i < 2; i++ { // second pass hits the warmed cache
+		for r := 0; r < tsRanks; r++ {
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/rank/"+strconv.Itoa(r), nil))
+			if rec.Code != 200 {
+				t.Fatalf("rank %d: status %d", r, rec.Code)
+			}
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics: status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type %q", ct)
+	}
+	body := rec.Body.String()
+	if err := obs.CheckExposition([]byte(body)); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+
+	st := s.srv.Stats()
+	if st.Hits == 0 || st.BackendReads == 0 {
+		t.Fatalf("workload did not seed the counters: %+v", st)
+	}
+	for _, c := range []struct {
+		family string
+		want   int64
+	}{
+		{"serve_cache_hits_total", st.Hits},
+		{"serve_cache_misses_total", st.Misses},
+		{"serve_backend_reads_total", st.BackendReads},
+		{"serve_backend_bytes_total", st.BackendBytes},
+		{"serve_served_bytes_total", st.ServedBytes},
+		{"serve_handles_opened_total", st.HandlesOpened},
+	} {
+		if got := familySum(t, body, c.family); got != c.want {
+			t.Errorf("%s = %d, want %d (Stats)", c.family, got, c.want)
+		}
+	}
+	// The instrumented backend saw the serve layer's reads: every backend
+	// read is at least one fsio read op.
+	if ops := familySum(t, body, "fsio_ops_total"); ops == 0 {
+		t.Error("fsio_ops_total = 0, want the instrumented backend's ops")
+	}
+}
+
+// TestRequestIDEcho pins the middleware header contract: a fresh ID is
+// assigned when the client sends none, and a client-sent ID is adopted.
+func TestRequestIDEcho(t *testing.T) {
+	_, h := newMetricsServer(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/rank/0", nil))
+	if id := rec.Header().Get(obs.RequestIDHeader); len(id) != 16 {
+		t.Errorf("generated request ID %q, want 16 hex chars", id)
+	}
+
+	req := httptest.NewRequest("GET", "/rank/0", nil)
+	req.Header.Set(obs.RequestIDHeader, "caller-chosen-id")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if id := rec.Header().Get(obs.RequestIDHeader); id != "caller-chosen-id" {
+		t.Errorf("adopted request ID %q, want the caller's", id)
+	}
+}
+
+// TestSlowRequestLogCarriesCrumbs drops the slow threshold to a
+// nanosecond so every request logs, and checks the trail: a cold read
+// leaves backend_read crumbs, a warm re-read cache_hit crumbs.
+func TestSlowRequestLogCarriesCrumbs(t *testing.T) {
+	s, _ := newMetricsServer(t)
+	s.slow = time.Nanosecond
+	h := s.handler()
+
+	var crumbs []string
+	prev := logger.SetHook(func(r obs.Record) {
+		if r.Msg != "slow request" {
+			return
+		}
+		for i := 0; i+1 < len(r.KV); i += 2 {
+			if r.KV[i] == "crumbs" {
+				crumbs = append(crumbs, r.KV[i+1].(string))
+			}
+		}
+	})
+	t.Cleanup(func() { logger.SetHook(prev) })
+
+	for i := 0; i < 2; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/rank/0", nil))
+		if rec.Code != 200 {
+			t.Fatalf("read %d: status %d", i, rec.Code)
+		}
+	}
+	if len(crumbs) != 2 {
+		t.Fatalf("slow-request records = %d, want 2 (crumbs %q)", len(crumbs), crumbs)
+	}
+	if !strings.Contains(crumbs[0], obs.CrumbBackendRead+"=") {
+		t.Errorf("cold read crumbs %q, want a backend_read", crumbs[0])
+	}
+	if !strings.Contains(crumbs[1], obs.CrumbCacheHit+"=") {
+		t.Errorf("warm read crumbs %q, want cache hits", crumbs[1])
+	}
+}

@@ -13,6 +13,7 @@ import (
 	sion "repro/internal/core"
 	"repro/internal/fsio"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -47,15 +48,13 @@ func newBigServer(t *testing.T) *http.ServeMux {
 	return s.mux()
 }
 
-// captureLog reroutes logf into a slice for the test's duration.
+// captureLog hooks the structured logger, collecting record messages for
+// the test's duration (the hook also suppresses writer output).
 func captureLog(t *testing.T) *[]string {
 	t.Helper()
-	old := logf
 	var lines []string
-	logf = func(format string, args ...any) {
-		lines = append(lines, fmt.Sprintf(format, args...))
-	}
-	t.Cleanup(func() { logf = old })
+	prev := logger.SetHook(func(r obs.Record) { lines = append(lines, r.Msg) })
+	t.Cleanup(func() { logger.SetHook(prev) })
 	return &lines
 }
 

@@ -46,6 +46,7 @@ import (
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/serve"
 )
@@ -76,6 +77,14 @@ type Config struct {
 
 	// MaxHot caps the tracked hot set (default 256 blocks).
 	MaxHot int
+
+	// Metrics, when non-nil, is the obs registry the cluster and every
+	// node joined to it register their instruments in (nil gives the
+	// cluster a private registry, reachable via Metrics()). Nodes'
+	// serve families are labeled node=<id>; the router's cluster_*
+	// families are unlabeled. Don't register unlabeled serve.Servers in
+	// the same registry — the family label-key check panics.
+	Metrics *obs.Registry
 }
 
 func resolveConfig(cfg *Config) Config {
@@ -129,19 +138,26 @@ type Cluster struct {
 	hotMu sync.RWMutex
 	hot   map[hotKey]struct{}
 
-	rr        atomic.Uint64 // rotates reads across hot-block replicas
-	requests  atomic.Int64  // block-granular routed reads
-	failovers atomic.Int64  // extra replica attempts after a failed one
-	allDown   atomic.Int64  // reads that exhausted every replica
-	handles   atomic.Int64
+	rr atomic.Uint64 // rotates reads across hot-block replicas
+
+	// m holds the routing counters as obs instruments (Stats() reads
+	// them); the same registry carries every node's serve families,
+	// labeled node=<id>.
+	m *clusterMetrics
 }
 
-var _ serve.FileReaderAt = (*Cluster)(nil)
+var _ serve.SpanFileReaderAt = (*Cluster)(nil)
 
 // New builds an empty cluster; Join adds serve nodes to it.
 func New(cfg *Config) *Cluster {
-	return &Cluster{cfg: resolveConfig(cfg), hot: make(map[hotKey]struct{})}
+	c := &Cluster{cfg: resolveConfig(cfg), hot: make(map[hotKey]struct{})}
+	c.m = newClusterMetrics(c.cfg.Metrics, c)
+	return c
 }
+
+// Metrics returns the registry the cluster's (and its nodes')
+// instruments live in.
+func (c *Cluster) Metrics() *obs.Registry { return c.m.reg }
 
 // Join opens the multifile `name` on fsys as a new serve node `id` and
 // adds it to the ring. The node's serve.Config (nil for defaults) is
@@ -166,6 +182,12 @@ func (c *Cluster) Join(id string, fsys fsio.FileSystem, name string, scfg *serve
 	}
 	cfg.BlockBytes = blockBytes // 0 on the first join: serve resolves the default
 	cfg.PeerFill = func(file int, block int64) ([]byte, bool) { return c.peerFill(id, file, block) }
+	// Every node's serve instruments land in the cluster's registry under
+	// a node label, so one scrape covers the whole topology. (A node that
+	// re-joins under a departed id resumes that id's counters — counters
+	// are cumulative per label set, the Prometheus restart semantics.)
+	cfg.Metrics = c.m.reg
+	cfg.MetricLabels = obs.L("node", id)
 	srv, err := serve.New(fsys, name, &cfg)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: join %s: %w", id, err)
@@ -322,7 +344,7 @@ func (c *Cluster) Open(rank int) (*serve.Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.handles.Add(1)
+	c.m.handles.Inc()
 	return h, nil
 }
 
@@ -422,6 +444,7 @@ func (c *Cluster) RebalanceHot() int {
 				}
 				// Best-effort: a degraded or racing-departed replica just
 				// stays cold until the next rebalance.
+				c.m.rebalanceMoves.Inc()
 				buf := make([]byte, bs)
 				_ = n.srv.ReadFileAt(hb.File, buf, hb.Block*bs)
 			}
@@ -438,6 +461,14 @@ func (c *Cluster) RebalanceHot() int {
 // permanent error (the backend answering wrongly) is returned as-is,
 // since every node would fail identically.
 func (c *Cluster) ReadFileAt(file int, p []byte, off int64) error {
+	return c.ReadFileAtSpan(file, p, off, nil)
+}
+
+// ReadFileAtSpan is ReadFileAt with a breadcrumb trail: sp (nil is fine)
+// additionally records each failover hop, and the node that serves each
+// block records its cache/backend crumbs on the same span (see
+// serve.ReadFileAtSpan).
+func (c *Cluster) ReadFileAtSpan(file int, p []byte, off int64, sp *obs.Span) error {
 	c.mu.RLock()
 	closed, name := c.closed, c.name
 	nodes, rg, bs := c.nodes, c.ring, c.blockBytes
@@ -460,7 +491,7 @@ func (c *Cluster) ReadFileAt(file int, p []byte, off int64) error {
 		if hi > end {
 			hi = end
 		}
-		if err := c.readBlock(nodes, rg, file, b, p[lo-off:hi-off], lo); err != nil {
+		if err := c.readBlock(nodes, rg, file, b, p[lo-off:hi-off], lo, sp); err != nil {
 			return err
 		}
 	}
@@ -468,8 +499,8 @@ func (c *Cluster) ReadFileAt(file int, p []byte, off int64) error {
 }
 
 // readBlock serves one block-contained window through the ring.
-func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte, off int64) error {
-	c.requests.Add(1)
+func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte, off int64, sp *obs.Span) error {
+	c.m.requests.Inc()
 	cands := rg.lookup(blockHash(file, b))
 	// Rotate reads of a hot block across its replicas so the primary is
 	// not the only node paying for popularity.
@@ -484,6 +515,7 @@ func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte
 			order = append(order, cands[(rot+i)%k])
 		}
 		order = append(order, cands[k:]...)
+		c.m.rotations.Inc()
 	}
 	// Healthy replicas first: a node with any open circuit is tried last
 	// (its cache may still answer, but it must not absorb primary load).
@@ -500,10 +532,11 @@ func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte
 
 	var lastErr error
 	for i, n := range try {
-		err := n.srv.ReadFileAt(file, p, off)
+		err := n.srv.ReadFileAtSpan(file, p, off, sp)
 		if err == nil {
 			if i > 0 {
-				c.failovers.Add(int64(i))
+				c.m.failovers.Add(int64(i))
+				sp.Add(obs.CrumbFailover, int64(i))
 			}
 			return nil
 		}
@@ -512,7 +545,7 @@ func (c *Cluster) readBlock(nodes []*Node, rg *ring, file int, b int64, p []byte
 			return err
 		}
 	}
-	c.allDown.Add(1)
+	c.m.allDown.Inc()
 	return fmt.Errorf("cluster: %s: file %d block %d: all %d replicas down (last: %v): %w",
 		c.Name(), file, b, len(try), lastErr, serve.ErrDegraded)
 }
@@ -554,11 +587,11 @@ func (c *Cluster) Stats() Stats {
 	c.mu.RUnlock()
 	st := Stats{
 		Nodes:           len(nodes),
-		Requests:        c.requests.Load(),
-		Failovers:       c.failovers.Load(),
-		AllReplicasDown: c.allDown.Load(),
+		Requests:        c.m.requests.Value(),
+		Failovers:       c.m.failovers.Value(),
+		AllReplicasDown: c.m.allDown.Value(),
 		HotTracked:      c.HotTracked(),
-		HandlesOpened:   c.handles.Load(),
+		HandlesOpened:   c.m.handles.Value(),
 	}
 	for _, n := range nodes {
 		ns := NodeStats{ID: n.ID, Degraded: n.srv.Degraded(), Serve: n.srv.Stats()}

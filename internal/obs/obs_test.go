@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// same name+labels returns the same instrument
+	if r.Counter("x_total", "help") != c {
+		t.Fatal("second Counter call returned a different instrument")
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	var nilC *Counter
+	nilC.Add(1) // must not panic
+	var nilG *Gauge
+	nilG.Set(1)
+}
+
+func TestNopRegistryInert(t *testing.T) {
+	r := Nop()
+	c := r.Counter("x_total", "help")
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("Nop counter accumulated")
+	}
+	h := r.Histogram("h_seconds", "help")
+	h.Observe(123)
+	if h.Snapshot().Count != 0 {
+		t.Fatal("Nop histogram accumulated")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("Nop exposition nonempty: %q", buf.String())
+	}
+}
+
+func TestLabelConsistencyPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "h", Label{"k", "v"})
+	mustPanic(t, "label key mismatch", func() {
+		r.Counter("a_total", "h", Label{"other", "v"})
+	})
+	mustPanic(t, "label count mismatch", func() {
+		r.Counter("a_total", "h")
+	})
+	mustPanic(t, "type mismatch", func() {
+		r.Gauge("a_total", "h", Label{"k", "v"})
+	})
+	mustPanic(t, "bad name", func() { r.Counter("9bad", "h") })
+	mustPanic(t, "odd L", func() { L("a", "b", "c") })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// bucket 0 covers (..2^10]; exact bound must land in its own bucket
+	if b := bucketFor(1 << 10); b != 0 {
+		t.Fatalf("bucketFor(2^10) = %d, want 0", b)
+	}
+	if b := bucketFor(1<<10 + 1); b != 1 {
+		t.Fatalf("bucketFor(2^10+1) = %d, want 1", b)
+	}
+	if b := bucketFor(1 << 40); b != histBuckets {
+		t.Fatalf("bucketFor(2^40) = %d, want overflow %d", b, histBuckets)
+	}
+	if b := bucketFor(0); b != 0 {
+		t.Fatalf("bucketFor(0) = %d, want 0", b)
+	}
+
+	// 100 observations at ~1ms, 10 at ~100ms: p50 ~1ms bucket, p99 in
+	// the tail
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(time.Millisecond))
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(int64(100 * time.Millisecond))
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d, want 110", s.Count)
+	}
+	p50, p99 := s.P50(), s.P99()
+	if p50 > int64(2*time.Millisecond) {
+		t.Fatalf("p50 = %v, want <= ~2ms", time.Duration(p50))
+	}
+	if p99 < int64(50*time.Millisecond) {
+		t.Fatalf("p99 = %v, want >= ~50ms", time.Duration(p99))
+	}
+	if q := (HistSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %d, want 0", q)
+	}
+}
+
+func TestExpositionAndChecker(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", "requests", Label{"node", "n1"}).Add(3)
+	r.Counter("reqs_total", "requests", Label{"node", `we"ird\`}).Add(1)
+	r.Gauge("depth", "queue depth").Set(-2)
+	r.GaugeFunc("fn_gauge", "from fn", func() float64 { return 1.5 })
+	r.CounterFunc("fn_total", "from fn", func() float64 { return 9 })
+	h := r.Histogram("lat_seconds", "latency", Label{"op", "read"})
+	h.Observe(int64(3 * time.Microsecond))
+	h.Observe(int64(2 * time.Second))
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`reqs_total{node="n1"} 3`,
+		`reqs_total{node="we\"ird\\"} 1`,
+		"depth -2",
+		"fn_gauge 1.5",
+		"fn_total 9",
+		`lat_seconds_count{op="read"} 2`,
+		`le="+Inf"`,
+		"# TYPE lat_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if err := CheckExposition(buf.Bytes()); err != nil {
+		t.Fatalf("CheckExposition rejected valid output: %v\n%s", err, out)
+	}
+
+	// corrupt cases
+	if err := CheckExposition([]byte("# TYPE a counter\n# TYPE a counter\na 1\n")); err == nil {
+		t.Error("duplicate family not caught")
+	}
+	if err := CheckExposition([]byte("undeclared 4\n")); err == nil {
+		t.Error("undeclared sample not caught")
+	}
+	bad := strings.Replace(out, `lat_seconds_count{op="read"} 2`, `lat_seconds_count{op="read"} 7`, 1)
+	if err := CheckExposition([]byte(bad)); err == nil {
+		t.Error("count/+Inf mismatch not caught")
+	}
+}
+
+func TestSetClock(t *testing.T) {
+	r := NewRegistry()
+	now := int64(1000)
+	r.SetClock(func() int64 { return now })
+	if r.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", r.Now())
+	}
+	now = 2500
+	if r.Now() != 2500 {
+		t.Fatalf("Now = %d, want 2500", r.Now())
+	}
+	mustPanic(t, "nil clock", func() { r.SetClock(nil) })
+}
+
+func TestSpan(t *testing.T) {
+	sp := StartSpan()
+	if len(sp.ID()) != 16 {
+		t.Fatalf("request id %q, want 16 hex chars", sp.ID())
+	}
+	sp.Add(CrumbCacheHit, 3)
+	sp.Add(CrumbBackendRead, 1)
+	sp.Add(CrumbCacheHit, 2)
+	if got := sp.Get(CrumbCacheHit); got != 5 {
+		t.Fatalf("cache_hit = %d, want 5", got)
+	}
+	if s := sp.String(); s != "backend_read=1 cache_hit=5" {
+		t.Fatalf("String() = %q", s)
+	}
+
+	var nilSpan *Span
+	nilSpan.Add("x", 1)
+	if nilSpan.Get("x") != 0 || nilSpan.ID() != "" || nilSpan.String() != "" {
+		t.Fatal("nil span not inert")
+	}
+
+	ctx := WithSpan(context.Background(), sp)
+	if SpanFrom(ctx) != sp {
+		t.Fatal("SpanFrom lost the span")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("SpanFrom on empty context should be nil")
+	}
+}
+
+func TestSpanConcurrent(t *testing.T) {
+	sp := StartSpan()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				sp.Add(CrumbRetry, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := sp.Get(CrumbRetry); got != 8000 {
+		t.Fatalf("retry = %d, want 8000", got)
+	}
+}
+
+func TestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	l.Debug("hidden")
+	l.Info("served", "rank", 3, "bytes", 1024)
+	l.Error("boom", "err", `disk "full"`)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("debug line emitted at info level")
+	}
+	if !strings.Contains(out, "info msg=served rank=3 bytes=1024") {
+		t.Errorf("info line malformed: %q", out)
+	}
+	if !strings.Contains(out, `err="disk \"full\""`) {
+		t.Errorf("error line quoting wrong: %q", out)
+	}
+
+	l.SetLevel(LevelDebug)
+	buf.Reset()
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "debug msg=\"now visible\"") {
+		t.Errorf("debug line missing: %q", buf.String())
+	}
+}
+
+func TestLoggerHook(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf)
+	var mu sync.Mutex
+	var recs []Record
+	prev := l.SetHook(func(r Record) {
+		mu.Lock()
+		recs = append(recs, r)
+		mu.Unlock()
+	})
+	if prev != nil {
+		t.Fatal("unexpected previous hook")
+	}
+	l.Warn("careful", "k", "v")
+	if buf.Len() != 0 {
+		t.Fatalf("hooked logger still wrote: %q", buf.String())
+	}
+	if len(recs) != 1 || recs[0].Level != LevelWarn || recs[0].Msg != "careful" {
+		t.Fatalf("hook records = %+v", recs)
+	}
+	if len(recs[0].KV) != 2 || recs[0].KV[0] != "k" || recs[0].KV[1] != "v" {
+		t.Fatalf("hook KV = %+v", recs[0].KV)
+	}
+	l.SetHook(nil)
+	l.Info("back to writer")
+	if !strings.Contains(buf.String(), "back to writer") {
+		t.Fatal("writer output not restored after SetHook(nil)")
+	}
+}
+
+func TestConcurrentRegistryAndInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("c_total", "h")
+			h := r.Histogram("h_seconds", "h")
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(int64(j))
+			}
+		}()
+	}
+	// concurrent exposition
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			if err := r.WriteProm(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := CheckExposition(buf.Bytes()); err != nil {
+				t.Errorf("mid-flight exposition invalid: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("c_total", "h").Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := r.Histogram("h_seconds", "h").Snapshot().Count; got != 4000 {
+		t.Fatalf("hist count = %d, want 4000", got)
+	}
+}

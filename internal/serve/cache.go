@@ -70,10 +70,23 @@ func (c *blockCache) shard(k blockKey) *cacheShard {
 	return &c.shards[k.hash()&c.mask]
 }
 
+// shardIndex returns the shard a key maps to, for per-shard metric
+// attribution.
+func (c *blockCache) shardIndex(k blockKey) int {
+	return int(k.hash() & c.mask)
+}
+
 // get returns the cached block and marks it most recently used. The
 // returned slice is shared and must be treated as immutable.
 func (c *blockCache) get(k blockKey) ([]byte, bool) {
-	s := c.shard(k)
+	return c.getAt(c.shardIndex(k), k)
+}
+
+// getAt is get with the shard index precomputed — the read hot path
+// needs the index for per-shard metric attribution anyway, so it hashes
+// once and passes it in.
+func (c *blockCache) getAt(si int, k blockKey) ([]byte, bool) {
+	s := &c.shards[si]
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	el, ok := s.items[k]
@@ -87,9 +100,9 @@ func (c *blockCache) get(k blockKey) ([]byte, bool) {
 }
 
 // put inserts (or refreshes) a block and evicts from the shard's LRU tail
-// until the shard is back under budget. data must not be mutated after
-// insertion.
-func (c *blockCache) put(k blockKey, data []byte) {
+// until the shard is back under budget, returning how many blocks were
+// evicted. data must not be mutated after insertion.
+func (c *blockCache) put(k blockKey, data []byte) int {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -107,6 +120,7 @@ func (c *blockCache) put(k blockKey, data []byte) {
 		s.items[k] = s.lru.PushFront(&cacheEntry{key: k, data: data})
 		s.bytes += int64(len(data))
 	}
+	evicted := 0
 	for s.bytes > c.perShard && s.lru.Len() > 1 {
 		el := s.lru.Back()
 		ent := el.Value.(*cacheEntry)
@@ -114,7 +128,9 @@ func (c *blockCache) put(k blockKey, data []byte) {
 		delete(s.items, ent.key)
 		s.bytes -= int64(len(ent.data))
 		c.evictions.Add(1)
+		evicted++
 	}
+	return evicted
 }
 
 // invalidate drops a block from the cache if present. Tail servers call

@@ -30,10 +30,23 @@ type fetchReq struct {
 // to its full cache-block payload (shared, immutable). Requests are
 // answered individually — a span failure fails only the requests whose
 // blocks it covered, so one client's doomed read does not fail the
-// neighbors batched with it.
+// neighbors batched with it. stats describes the whole batch's work and
+// is shared by every answer (the batch's cost is genuinely shared); span
+// breadcrumbs are therefore batch-level, not per-requester.
 type fetchRes struct {
-	data map[int64][]byte
-	err  error
+	data  map[int64][]byte
+	err   error
+	stats batchStats
+}
+
+// batchStats is what one fetcher batch cost: spans/spanBlocks are the
+// dense backend reads issued and the cache blocks they materialized
+// (their ratio is the span-fusion win), peerFills and flightHits the
+// blocks that never touched the backend, retries the span re-attempts.
+type batchStats struct {
+	spans, spanBlocks     int64
+	peerFills, flightHits int64
+	retries               int64
 }
 
 type fetcher struct {
@@ -130,6 +143,7 @@ func (f *fetcher) collect(batch []*fetchReq) []*fetchReq {
 // health, not of overload).
 func (f *fetcher) serve(batch []*fetchReq) {
 	s := f.s
+	s.m.fetchBatches.Inc()
 	bs := s.blockBytes
 	want := make(map[int64][]byte)
 	for _, r := range batch {
@@ -137,18 +151,22 @@ func (f *fetcher) serve(batch []*fetchReq) {
 			want[b] = nil
 		}
 	}
+	var stats batchStats
 	var missing []sion.Extent
 	for b := range want {
-		if data, ok := s.cache.get(blockKey{f.file, b}); ok {
+		k := blockKey{f.file, b}
+		if data, ok := s.cache.get(k); ok {
 			want[b] = data
-			s.flightHits.Add(1)
+			s.m.flightHits.Inc()
+			stats.flightHits++
 			continue
 		}
 		if s.peerFill != nil {
 			if data, ok := s.peerFill(f.file, b); ok && int64(len(data)) == bs {
 				want[b] = data
-				s.cache.put(blockKey{f.file, b}, data)
-				s.peerFills.Add(1)
+				f.cachePut(k, data)
+				s.m.peerFills.Inc()
+				stats.peerFills++
 				continue
 			}
 		}
@@ -166,7 +184,9 @@ func (f *fetcher) serve(batch []*fetchReq) {
 				buf := make([]byte, sp.End-sp.Off)
 				// A short read past EOF leaves the zero fill of make,
 				// matching the ReadAt contract for unwritten regions.
-				if rerr := s.spanRead(f.fh, f.file, buf, sp.Off); rerr != nil {
+				retries, rerr := s.spanRead(f.fh, f.file, buf, sp.Off)
+				stats.retries += retries
+				if rerr != nil {
 					if blockErr == nil {
 						blockErr = make(map[int64]error)
 					}
@@ -178,6 +198,10 @@ func (f *fetcher) serve(batch []*fetchReq) {
 					}
 					continue
 				}
+				stats.spans++
+				stats.spanBlocks += int64(len(sp.Extents))
+				s.m.fetchSpans.Inc()
+				s.m.fetchSpanBlocks.Add(int64(len(sp.Extents)))
 				for _, e := range sp.Extents {
 					data := buf[e.Off-sp.Off : e.Off-sp.Off+bs]
 					if len(sp.Extents) > 1 {
@@ -187,7 +211,7 @@ func (f *fetcher) serve(batch []*fetchReq) {
 					}
 					b := e.Off / bs
 					want[b] = data
-					s.cache.put(blockKey{f.file, b}, data)
+					f.cachePut(blockKey{f.file, b}, data)
 				}
 			}
 			if br != nil {
@@ -200,12 +224,12 @@ func (f *fetcher) serve(batch []*fetchReq) {
 		}
 	}
 	for _, r := range batch {
-		res := fetchRes{data: want}
+		res := fetchRes{data: want, stats: stats}
 		for _, b := range r.blocks {
 			if want[b] == nil {
 				if breakerErr != nil {
 					res.err = breakerErr
-					s.degraded.Add(1)
+					s.m.degraded.Inc()
 				} else {
 					res.err = blockErr[b]
 				}
@@ -213,5 +237,14 @@ func (f *fetcher) serve(batch []*fetchReq) {
 			}
 		}
 		r.reply <- res
+	}
+}
+
+// cachePut inserts a block and attributes any evictions it caused to the
+// block's shard counter (evictions happen within the shard of the key
+// being inserted).
+func (f *fetcher) cachePut(k blockKey, data []byte) {
+	if ev := f.s.cache.put(k, data); ev > 0 {
+		f.s.m.evictions[f.s.cache.shardIndex(k)].Add(int64(ev))
 	}
 }

@@ -45,11 +45,11 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	sion "repro/internal/core"
 	"repro/internal/fsio"
+	"repro/internal/obs"
 	"repro/internal/resil"
 )
 
@@ -128,6 +128,21 @@ type Config struct {
 	// node. The hook runs on the fetcher goroutine and must not call back
 	// into this Server.
 	PeerFill func(file int, block int64) ([]byte, bool)
+
+	// Metrics, when non-nil, is the obs registry the server registers its
+	// instrument families in; nil gives the server a private registry
+	// (reachable via Server.Metrics()). The server's counters ARE these
+	// instruments — Stats() reads them — so passing obs.Nop() disables
+	// stats along with exposition; only overhead benchmarks should do
+	// that. Servers sharing one registry must disambiguate with
+	// MetricLabels (internal/cluster labels each node), and a registry
+	// must not mix labeled and unlabeled servers (the family label-key
+	// check panics).
+	Metrics *obs.Registry
+
+	// MetricLabels are prepended to every metric family the server
+	// registers (internal/cluster sets node=<id>).
+	MetricLabels []obs.Label
 }
 
 // Stats is a snapshot of a Server's request counters.
@@ -177,12 +192,12 @@ type Server struct {
 	tailMu        sync.Mutex
 	prevCommitted []int64
 
-	hits, misses, flightHits   atomic.Int64
-	backendReads, backendBytes atomic.Int64
-	servedBytes, handles       atomic.Int64
-	tailPolls, peerFills       atomic.Int64
-	retryCtrs                  resil.Counters
-	degraded                   atomic.Int64
+	// m holds the request counters as obs instruments; Stats() is a
+	// snapshot of them, and the registry's /metrics exposition is the
+	// same values. Retry/give-up counts stay in retryCtrs (the resil
+	// API) and are bridged into the registry at exposition time.
+	m         *serverMetrics
+	retryCtrs resil.Counters
 }
 
 // New opens every physical file of the multifile, snapshots its layout,
@@ -202,6 +217,7 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		cache:       newBlockCache(c.CacheBytes, c.Shards),
 	}
 	s.applyResilience(c)
+	s.applyMetrics(c)
 	for k := 0; k < layout.NumFiles(); k++ {
 		if err := s.openPhysical(fsys, layout.PhysicalName(k)); err != nil {
 			s.Close()
@@ -258,6 +274,19 @@ func (s *Server) applyResilience(c Config) {
 	s.peerFill = c.PeerFill
 }
 
+// applyMetrics registers the server's instrument families (a private
+// registry when the config names none) and the exposition-time bridges.
+// Must run after the cache exists: shard counters match its shard count
+// and the resident-bytes gauge reads it.
+func (s *Server) applyMetrics(c Config) {
+	reg := c.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.m = newServerMetrics(reg, c.MetricLabels, len(s.cache.shards))
+	s.registerDerived()
+}
+
 // openPhysical opens one physical file and starts its fetcher (plus its
 // circuit breaker unless breakers are disabled).
 func (s *Server) openPhysical(fsys fsio.FileSystem, path string) error {
@@ -274,26 +303,31 @@ func (s *Server) openPhysical(fsys fsio.FileSystem, path string) error {
 	}
 	s.breakers = append(s.breakers, br)
 	s.fetchers = append(s.fetchers, newFetcher(s, k, fh))
+	s.registerBreakerGauge(k, path)
 	return nil
 }
 
 // spanRead issues one backend read of [off, off+len(buf)) on physical file
 // `file` under the server's retry budget, counting every attempt as a
 // backend read. io.EOF is a legal short read (the caller keeps the zero
-// fill), not a failure.
-func (s *Server) spanRead(fh fsio.File, file int, buf []byte, off int64) error {
+// fill), not a failure. retries reports this call's re-attempts (for the
+// caller's breadcrumb trail; the aggregate lives in s.retryCtrs).
+func (s *Server) spanRead(fh fsio.File, file int, buf []byte, off int64) (retries int64, _ error) {
+	attempts := int64(0)
 	err := resil.Do(s.retry, &s.retryCtrs, func() error {
-		s.backendReads.Add(1)
-		s.backendBytes.Add(int64(len(buf)))
+		attempts++
+		s.m.backendReads.Add(1)
+		s.m.backendBytes.Add(int64(len(buf)))
 		if _, rerr := fh.ReadAt(buf, off); rerr != nil && rerr != io.EOF {
 			return rerr
 		}
 		return nil
 	})
+	retries = attempts - 1
 	if err != nil {
-		return fmt.Errorf("serve: %s: span read at %d: %w", s.physNames[file], off, err)
+		return retries, fmt.Errorf("serve: %s: span read at %d: %w", s.physNames[file], off, err)
 	}
-	return nil
+	return retries, nil
 }
 
 // Layout returns the multifile layout the server was built from (nil for
@@ -348,41 +382,69 @@ type FileReaderAt interface {
 	ReadFileAt(file int, p []byte, off int64) error
 }
 
+// SpanFileReaderAt is the span-threading extension of FileReaderAt:
+// ReadFileAtSpan behaves exactly like ReadFileAt and additionally records
+// breadcrumbs (cache hits, backend reads, peer fills, retries) on sp.
+// *Server and cluster routers implement it; Handles use it when a span
+// is attached (Handle.SetSpan) and fall back to ReadFileAt otherwise.
+type SpanFileReaderAt interface {
+	FileReaderAt
+	ReadFileAtSpan(file int, p []byte, off int64, sp *obs.Span) error
+}
+
 // ReadFileAt serves [off, off+len(p)) of physical file `file` through the
 // cache, delegating misses to the file's fetcher, and counts the bytes as
 // served. It is the exported form of the internal read path, used by
 // Handles and by cluster routers addressing this node.
 func (s *Server) ReadFileAt(file int, p []byte, off int64) error {
+	return s.ReadFileAtSpan(file, p, off, nil)
+}
+
+// ReadFileAtSpan is ReadFileAt with a breadcrumb trail: sp (nil is fine)
+// accumulates what this read cost — cache hits/misses per block, and,
+// for reads that missed, the fetch batch's backend spans, peer fills,
+// flight hits, and retries. Batch-level costs are attributed to every
+// requester the batch answered (the fetcher serializes misses per file,
+// so a batch's work is genuinely shared).
+func (s *Server) ReadFileAtSpan(file int, p []byte, off int64, sp *obs.Span) error {
 	if file < 0 || file >= len(s.fetchers) {
 		return fmt.Errorf("serve: %s: physical file %d outside 0..%d", s.name, file, len(s.fetchers)-1)
 	}
 	if off < 0 {
 		return fmt.Errorf("serve: %s: negative physical offset %d", s.name, off)
 	}
-	if err := s.readAt(file, p, off); err != nil {
+	start := s.m.readStart()
+	if err := s.readAt(file, p, off, sp); err != nil {
 		return err
 	}
-	s.servedBytes.Add(int64(len(p)))
+	s.m.servedBytes.Add(int64(len(p)))
+	s.m.readDone(start)
 	return nil
 }
 
-// Stats returns a snapshot of the request counters.
+// Metrics returns the registry the server's instruments live in (the
+// config's, or the private one created when the config named none).
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
+
+// Stats returns a snapshot of the request counters. The values are read
+// from the same obs instruments the registry exposes on /metrics, so the
+// two surfaces agree by construction.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Hits:          s.hits.Load(),
-		Misses:        s.misses.Load(),
-		FlightHits:    s.flightHits.Load(),
-		BackendReads:  s.backendReads.Load(),
-		BackendBytes:  s.backendBytes.Load(),
-		ServedBytes:   s.servedBytes.Load(),
+		Hits:          sumCounters(s.m.hits),
+		Misses:        sumCounters(s.m.misses),
+		FlightHits:    s.m.flightHits.Value(),
+		BackendReads:  s.m.backendReads.Value(),
+		BackendBytes:  s.m.backendBytes.Value(),
+		ServedBytes:   s.m.servedBytes.Value(),
 		Evictions:     s.cache.evictions.Load(),
 		CachedBytes:   s.cache.cachedBytes(),
-		HandlesOpened: s.handles.Load(),
-		TailPolls:     s.tailPolls.Load(),
-		PeerFills:     s.peerFills.Load(),
+		HandlesOpened: s.m.handles.Value(),
+		TailPolls:     s.m.tailPolls.Value(),
+		PeerFills:     s.m.peerFills.Value(),
 		Retries:       s.retryCtrs.Retries.Load(),
 		GiveUps:       s.retryCtrs.GiveUps.Load(),
-		Degraded:      s.degraded.Load(),
+		Degraded:      s.m.degraded.Value(),
 		BreakerOpens:  s.breakerOpens(),
 	}
 }
@@ -467,8 +529,9 @@ func (s *Server) Close() error {
 }
 
 // readAt serves [off, off+len(p)) of physical file `file` through the
-// cache, delegating misses to the file's fetcher.
-func (s *Server) readAt(file int, p []byte, off int64) error {
+// cache, delegating misses to the file's fetcher. sp (nil is fine)
+// collects the read's breadcrumb trail.
+func (s *Server) readAt(file int, p []byte, off int64, sp *obs.Span) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -477,11 +540,15 @@ func (s *Server) readAt(file int, p []byte, off int64) error {
 	bs := s.blockBytes
 	var missing []int64
 	for b := off / bs; b <= (off+int64(len(p))-1)/bs; b++ {
-		if data, ok := s.cache.get(blockKey{file, b}); ok {
-			s.hits.Add(1)
+		k := blockKey{file, b}
+		si := s.cache.shardIndex(k)
+		if data, ok := s.cache.getAt(si, k); ok {
+			s.m.hits[si].Inc()
+			sp.Add(obs.CrumbCacheHit, 1)
 			copyBlockPortion(p, off, b, bs, data)
 		} else {
-			s.misses.Add(1)
+			s.m.misses[si].Inc()
+			sp.Add(obs.CrumbCacheMiss, 1)
 			missing = append(missing, b)
 		}
 	}
@@ -489,6 +556,12 @@ func (s *Server) readAt(file int, p []byte, off int64) error {
 		return nil
 	}
 	res := s.fetchers[file].fetch(missing)
+	if sp != nil {
+		sp.Add(obs.CrumbBackendRead, res.stats.spans)
+		sp.Add(obs.CrumbPeerFill, res.stats.peerFills)
+		sp.Add(obs.CrumbFlightHit, res.stats.flightHits)
+		sp.Add(obs.CrumbRetry, res.stats.retries)
+	}
 	if res.err != nil {
 		return res.err
 	}
@@ -522,7 +595,9 @@ func copyBlockPortion(p []byte, off, b, bs int64, data []byte) {
 // clients each Open their own Handle.
 type Handle struct {
 	r      FileReaderAt
-	name   string // multifile base name (error messages)
+	sr     SpanFileReaderAt // r, when it supports span threading (else nil)
+	span   *obs.Span        // attached request span (nil = no tracing)
+	name   string           // multifile base name (error messages)
 	rank   int
 	blocks []sion.BlockExtent
 	base   []int64 // logical offset of each block extent's first byte
@@ -551,8 +626,17 @@ func NewHandle(layout *sion.Layout, rank int, r FileReaderAt) (*Handle, error) {
 		base[b] = size
 		size += be.Bytes
 	}
-	return &Handle{r: r, name: layout.Name(), rank: rank, blocks: blocks, base: base, size: size}, nil
+	sr, _ := r.(SpanFileReaderAt)
+	return &Handle{r: r, sr: sr, name: layout.Name(), rank: rank, blocks: blocks, base: base, size: size}, nil
 }
+
+// SetSpan attaches a request span to the handle: subsequent reads record
+// their breadcrumbs (cache hits, backend reads, peer fills, retries) on
+// sp, provided the underlying reader supports span threading (a *Server
+// or a cluster router does). SetSpan(nil) detaches. Like Read/Seek, the
+// span belongs to the handle's goroutine; the HTTP front ends attach the
+// per-request span right after Open.
+func (h *Handle) SetSpan(sp *obs.Span) { h.span = sp }
 
 // Open starts a read session on the logical file of writer rank `rank`.
 // It touches only the layout snapshot — no backend request is issued.
@@ -567,7 +651,7 @@ func (s *Server) Open(rank int) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.handles.Add(1)
+	s.m.handles.Inc()
 	return h, nil
 }
 
@@ -602,7 +686,13 @@ func (h *Handle) ReadLogicalAt(p []byte, off int64) (int, error) {
 		if n > avail {
 			n = avail
 		}
-		if err := h.r.ReadFileAt(be.File, p[:n], be.Off+rel); err != nil {
+		var err error
+		if h.sr != nil && h.span != nil {
+			err = h.sr.ReadFileAtSpan(be.File, p[:n], be.Off+rel, h.span)
+		} else {
+			err = h.r.ReadFileAt(be.File, p[:n], be.Off+rel)
+		}
+		if err != nil {
 			return total, err
 		}
 		p = p[n:]

@@ -25,7 +25,7 @@ func testPayload(rank, size int) []byte {
 
 // writeMultifile writes an n-task multifile (two physical files, ~2.5
 // chunks per task) and returns each rank's payload.
-func writeMultifile(t *testing.T, fsys fsio.FileSystem, name string, n int) [][]byte {
+func writeMultifile(t testing.TB, fsys fsio.FileSystem, name string, n int) [][]byte {
 	t.Helper()
 	payloads := make([][]byte, n)
 	for r := range payloads {

@@ -54,6 +54,7 @@ func NewTail(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		cache:         newBlockCache(c.CacheBytes, c.Shards),
 	}
 	s.applyResilience(c)
+	s.applyMetrics(c)
 	for r := range s.prevCommitted {
 		s.prevCommitted[r] = t.CommittedSize(r)
 	}
@@ -76,7 +77,7 @@ func (s *Server) Poll() (bool, error) {
 	}
 	s.tailMu.Lock()
 	defer s.tailMu.Unlock()
-	s.tailPolls.Add(1)
+	s.m.tailPolls.Inc()
 	wasFinal := s.tail.Finalized()
 	if err := s.tail.Refresh(); err != nil {
 		return false, err
@@ -143,7 +144,7 @@ func (s *Server) Tail(rank int) (*Session, error) {
 	if rank < 0 || rank >= s.tail.NTasks() {
 		return nil, fmt.Errorf("serve: %s: rank %d outside 0..%d", s.name, rank, s.tail.NTasks()-1)
 	}
-	s.handles.Add(1)
+	s.m.handles.Inc()
 	return &Session{s: s, rank: rank}, nil
 }
 
@@ -213,7 +214,7 @@ func (c *Session) Read(p []byte) (int, error) {
 		}
 		return 0, sion.ErrAgain
 	}
-	s.servedBytes.Add(int64(n))
+	s.m.servedBytes.Add(int64(n))
 	return n, nil
 }
 
@@ -229,7 +230,7 @@ func (s *Server) readTailSpan(file int, p []byte, off, uncachedFrom int64) error
 		uncachedFrom = off
 	}
 	if uncachedFrom > off {
-		if err := s.readAt(file, p[:uncachedFrom-off], off); err != nil {
+		if err := s.readAt(file, p[:uncachedFrom-off], off, nil); err != nil {
 			return err
 		}
 	}
@@ -243,7 +244,7 @@ func (s *Server) readTailSpan(file int, p []byte, off, uncachedFrom int64) error
 		// reads (spanRead), so a transient fault at the watermark does not
 		// surface to the tail session.
 		buf := p[uncachedFrom-off:]
-		if err := s.spanRead(s.files[file], file, buf, uncachedFrom); err != nil {
+		if _, err := s.spanRead(s.files[file], file, buf, uncachedFrom); err != nil {
 			return fmt.Errorf("serve: frontier read: %w", err)
 		}
 	}
