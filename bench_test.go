@@ -208,3 +208,17 @@ func BenchmarkTable9Cluster(b *testing.B) {
 		return lastFloat(r.Rows[0], 3) / lastFloat(r.Rows[1], 3), "backend-read-reduction"
 	})
 }
+
+// BenchmarkTable10Backends regenerates the backend auto-tuning table; the
+// metric is the auto-tuned arm's total object-store request count, gated
+// lower-better (the "objstore-requests" unit): a geometry regression that
+// starts paying staged copies or per-record GETs again fails CI. Byte
+// identity across backends and the ≥2× reduction versus POSIX-tuned
+// geometry are asserted inside the experiment, so the run fails loudly
+// rather than reporting a bad number.
+func BenchmarkTable10Backends(b *testing.B) {
+	benchExperiment(b, "tab10", func(r *expt.Result) (float64, string) {
+		const colTotal = 7
+		return lastFloat(r.Rows[2], colTotal), "objstore-requests"
+	})
+}

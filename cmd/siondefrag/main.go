@@ -2,24 +2,36 @@
 // occupies a single chunk in one block, removing the logical gaps left by
 // partially filled blocks (the paper's §3.3 "defragment" utility).
 //
-// Usage: siondefrag <src-multifile> <dst-multifile>
+// Usage: siondefrag [-backend posix|objstore[,profile]] <src-multifile> <dst-multifile>
+//
+// The backend applies to both sides of the rewrite; with an objstore
+// backend the destination inherits the backend's part-aligned geometry
+// (fsio.FileSystem.BlockSize reports the part size).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/backendflag"
 	sion "repro/internal/core"
-	"repro/internal/fsio"
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: siondefrag <src> <dst>")
+	backend := backendflag.Flag()
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: siondefrag [-backend B] <src> <dst>")
 		os.Exit(2)
 	}
-	fs := fsio.NewOS("")
-	if err := sion.Defrag(fs, os.Args[1], fs, os.Args[2]); err != nil {
+	stack, err := backendflag.Build(*backend, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siondefrag:", err)
+		os.Exit(2)
+	}
+	fs := stack.FS
+	if err := sion.Defrag(fs, flag.Arg(0), fs, flag.Arg(1)); err != nil {
 		fmt.Fprintln(os.Stderr, "siondefrag:", err)
 		os.Exit(1)
 	}

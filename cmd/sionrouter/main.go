@@ -9,7 +9,7 @@
 //
 //	sionrouter [-addr :8080] [-nodes 3] [-cache-mb 64] [-block N]
 //	           [-retries 4] [-replicate 2] [-hot-min 64] [-vnodes 64]
-//	           <multifile>
+//	           [-backend posix|objstore[,profile]] <multifile>
 //
 // Endpoints:
 //
@@ -52,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backendflag"
 	"repro/internal/cluster"
 	"repro/internal/fsio"
 	"repro/internal/obs"
@@ -92,6 +93,7 @@ func main() {
 	replicate := flag.Int("replicate", 2, "ring replicas per hot block, primary included (1 disables)")
 	hotMin := flag.Int64("hot-min", 64, "cache hits at which a block counts as hot")
 	vnodes := flag.Int("vnodes", 64, "virtual ring points per node")
+	backend := backendflag.Flag()
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowMs := flag.Int64("slow-ms", 500,
 		"log requests slower than this many milliseconds with their breadcrumb trail (0 disables)")
@@ -103,8 +105,13 @@ func main() {
 
 	// One registry for the whole topology: the router's cluster_* families,
 	// each node's serve_* families (labeled node=<id> at Join), and the
-	// shared instrumented OS backend's fsio_* families.
+	// shared instrumented backend's fsio_* families (labeled backend=<kind>).
 	reg := obs.NewRegistry()
+	stack, err := backendflag.Build(*backend, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sionrouter:", err)
+		os.Exit(2)
+	}
 	rt := &router{
 		c: cluster.New(&cluster.Config{
 			VNodes:       *vnodes,
@@ -112,7 +119,7 @@ func main() {
 			HotMinHits:   *hotMin,
 			Metrics:      reg,
 		}),
-		fsys:  fsio.Instrument(fsio.NewOS(""), fsio.NewMeter(reg, "os")),
+		fsys:  stack.FS,
 		name:  flag.Arg(0),
 		slow:  time.Duration(*slowMs) * time.Millisecond,
 		pprof: *pprofOn,
@@ -159,7 +166,7 @@ func main() {
 
 	fmt.Printf("sionrouter: serving %s (%d ranks, %d nodes) on %s\n",
 		rt.name, rt.c.Layout().NTasks(), *nodes, *addr)
-	err := httpSrv.ListenAndServe()
+	err = httpSrv.ListenAndServe()
 	if !errors.Is(err, http.ErrServerClosed) {
 		rt.c.Close()
 		fmt.Fprintln(os.Stderr, "sionrouter:", err)

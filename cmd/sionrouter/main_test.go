@@ -9,10 +9,11 @@ import (
 	"strconv"
 	"testing"
 
-	sion "repro/internal/core"
 	"repro/internal/cluster"
+	sion "repro/internal/core"
 	"repro/internal/fsio"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/serve"
 )
@@ -51,14 +52,17 @@ func newTestRouter(t *testing.T) (*router, *http.ServeMux) {
 			t.Errorf("rank %d: Close: %v", c.Rank(), err)
 		}
 	})
+	// Mirror main()'s observability wiring: one registry shared by the
+	// cluster families and the backend-labeled fsio meter.
+	reg := obs.NewRegistry()
 	rt := &router{
-		c:    cluster.New(nil),
-		fsys: fsys,
+		c:    cluster.New(&cluster.Config{Metrics: reg}),
+		fsys: fsio.Instrument(fsys, fsio.NewMeter(reg, "os")),
 		name: "data",
 		scfg: &serve.Config{Retry: &resil.Budget{MaxAttempts: resil.DefaultMaxAttempts}},
 	}
 	for i := 1; i <= 3; i++ {
-		if _, err := rt.c.Join(fmt.Sprintf("n%d", i), fsys, "data", rt.scfg); err != nil {
+		if _, err := rt.c.Join(fmt.Sprintf("n%d", i), rt.fsys, "data", rt.scfg); err != nil {
 			t.Fatalf("Join n%d: %v", i, err)
 		}
 	}

@@ -89,4 +89,12 @@ func TestRouterMetricsMatchesStats(t *testing.T) {
 			t.Errorf("exposition is missing node label %q", id)
 		}
 	}
+	// The shared backend's fsio_* families carry the -backend stack's
+	// label, so multi-backend deployments stay tellable apart.
+	if ops := familySum(t, body, "fsio_ops_total"); ops == 0 {
+		t.Error("fsio_ops_total = 0, want the instrumented backend's ops")
+	}
+	if !strings.Contains(body, `fsio_ops_total{backend="os"`) {
+		t.Error("fsio_ops_total lacks the backend label in the exposition")
+	}
 }

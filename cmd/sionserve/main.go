@@ -55,8 +55,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/backendflag"
 	sion "repro/internal/core"
-	"repro/internal/fsio"
 	"repro/internal/obs"
 	"repro/internal/resil"
 	"repro/internal/serve"
@@ -90,17 +90,23 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	slowMs := flag.Int64("slow-ms", 500,
 		"log requests slower than this many milliseconds with their breadcrumb trail (0 disables)")
+	backend := backendflag.Flag()
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] [-retries 4] <multifile>")
+		fmt.Fprintln(os.Stderr, "usage: sionserve [-addr :8080] [-cache-mb 64] [-block N] [-retries 4] [-backend posix|objstore[,profile]] <multifile>")
 		os.Exit(2)
 	}
 	// One registry carries the whole process: the serve layer's families
-	// plus the instrumented OS backend's fsio_* families, so /metrics shows
-	// cache behavior next to the raw I/O it turns into.
+	// plus the instrumented backend's fsio_* families (labeled with the
+	// backend name), so /metrics shows cache behavior next to the raw I/O
+	// it turns into.
 	reg := obs.NewRegistry()
-	fsys := fsio.Instrument(fsio.NewOS(""), fsio.NewMeter(reg, "os"))
-	srv, err := serve.New(fsys, flag.Arg(0), &serve.Config{
+	stack, err := backendflag.Build(*backend, reg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sionserve:", err)
+		os.Exit(2)
+	}
+	srv, err := serve.New(stack.FS, flag.Arg(0), &serve.Config{
 		CacheBytes: *cacheMB << 20,
 		BlockBytes: *block,
 		Retry:      &resil.Budget{MaxAttempts: *retries},

@@ -120,6 +120,14 @@ func TestMetricsMatchesStats(t *testing.T) {
 	if ops := familySum(t, body, "fsio_ops_total"); ops == 0 {
 		t.Error("fsio_ops_total = 0, want the instrumented backend's ops")
 	}
+	// Every fsio_* family carries the backend label (the -backend flag's
+	// stack label, "os" here), so multi-backend deployments stay tellable
+	// apart in one exposition.
+	for _, family := range []string{"fsio_ops_total", "fsio_bytes_total"} {
+		if !strings.Contains(body, family+`{backend="os"`) {
+			t.Errorf("%s lacks the backend label in the exposition", family)
+		}
+	}
 }
 
 // TestRequestIDEcho pins the middleware header contract: a fresh ID is

@@ -2,7 +2,8 @@
 // multifile and recreates them as physical files (the paper's §3.3 "split"
 // utility).
 //
-// Usage: sionsplit [-pattern task-%d.bin] [-ranks 0,3,7] <multifile>
+// Usage: sionsplit [-pattern task-%d.bin] [-ranks 0,3,7]
+// [-backend posix|objstore[,profile]] <multifile>
 package main
 
 import (
@@ -12,13 +13,14 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/backendflag"
 	sion "repro/internal/core"
-	"repro/internal/fsio"
 )
 
 func main() {
 	pattern := flag.String("pattern", "task-%d.bin", "output file name pattern (%d = task rank)")
 	rankList := flag.String("ranks", "", "comma-separated ranks to extract (default: all)")
+	backend := backendflag.Flag()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: sionsplit [-pattern P] [-ranks R,...] <multifile>")
@@ -35,7 +37,12 @@ func main() {
 			ranks = append(ranks, r)
 		}
 	}
-	fs := fsio.NewOS("")
+	stack, err := backendflag.Build(*backend, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sionsplit:", err)
+		os.Exit(2)
+	}
+	fs := stack.FS
 	if err := sion.Split(fs, flag.Arg(0), fs, *pattern, ranks); err != nil {
 		fmt.Fprintln(os.Stderr, "sionsplit:", err)
 		os.Exit(1)

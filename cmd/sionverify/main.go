@@ -3,23 +3,31 @@
 // counts fit their chunks, and (when present) the per-chunk headers agree
 // with metablock 2.
 //
-// Usage: sionverify <multifile>
+// Usage: sionverify [-backend posix|objstore[,profile]] <multifile>
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/backendflag"
 	sion "repro/internal/core"
-	"repro/internal/fsio"
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: sionverify <multifile>")
+	backend := backendflag.Flag()
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sionverify [-backend B] <multifile>")
 		os.Exit(2)
 	}
-	if err := sion.Verify(fsio.NewOS(""), os.Args[1]); err != nil {
+	stack, err := backendflag.Build(*backend, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sionverify:", err)
+		os.Exit(2)
+	}
+	if err := sion.Verify(stack.FS, flag.Arg(0)); err != nil {
 		fmt.Fprintln(os.Stderr, "sionverify:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,65 @@
+package backendflag
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fsio"
+	"repro/internal/obs"
+)
+
+func TestBuildSpecs(t *testing.T) {
+	cases := []struct {
+		spec      string
+		label     string
+		wantObj   bool
+		wantError string
+	}{
+		{spec: "posix", label: "os"},
+		{spec: "", label: "os"},
+		{spec: "objstore", label: "objstore", wantObj: true},
+		{spec: "objstore,s3", label: "objstore", wantObj: true},
+		{spec: "objstore,smallpart", label: "objstore", wantObj: true},
+		{spec: "objstore,bogus", wantError: "unknown objstore profile"},
+		{spec: "posix,s3", wantError: "takes no profile"},
+		{spec: "tape", wantError: "unknown backend"},
+	}
+	for _, tc := range cases {
+		st, err := Build(tc.spec, nil)
+		if tc.wantError != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantError) {
+				t.Errorf("Build(%q) err = %v, want %q", tc.spec, err, tc.wantError)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Build(%q): %v", tc.spec, err)
+			continue
+		}
+		if st.Label != tc.label {
+			t.Errorf("Build(%q) label = %q, want %q", tc.spec, st.Label, tc.label)
+		}
+		if (st.Obj != nil) != tc.wantObj {
+			t.Errorf("Build(%q) Obj = %v, want present=%v", tc.spec, st.Obj, tc.wantObj)
+		}
+	}
+}
+
+// TestBuildCapsAndLabelAgree pins the label/descriptor contract: the
+// metrics backend label is the descriptor's Backend name, and the
+// descriptor survives the instrumentation Build adds.
+func TestBuildCapsAndLabelAgree(t *testing.T) {
+	for _, spec := range []string{"posix", "objstore,smallpart"} {
+		st, err := Build(spec, obs.NewRegistry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		caps := fsio.CapabilitiesOf(st.FS)
+		if caps.Backend != st.Label {
+			t.Errorf("%s: descriptor backend %q != label %q", spec, caps.Backend, st.Label)
+		}
+		if spec != "posix" && caps.PartSizeFloor <= 0 {
+			t.Errorf("%s: descriptor lost through instrumentation: %+v", spec, caps)
+		}
+	}
+}

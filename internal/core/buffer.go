@@ -66,6 +66,13 @@ func putStageBuf(b []byte) {
 // of the FS block size and capped at bufferAutoCap.
 const BufferAuto = -1
 
+// BufferOff disables staging unconditionally (Options.BufferSize = -2):
+// unlike 0, it is not upgraded to BufferAuto on backends whose
+// capability descriptor declares a multipart part-size floor. The
+// POSIX-tuned-geometry arms of the backend experiments use it to show
+// what un-tuned defaults cost on an object store.
+const BufferOff = -2
+
 // bufferAutoCap bounds the auto-sized staging buffer, mirroring
 // asyncFlushCap on the collective path: beyond a few MiB per task the
 // request-count reduction has long saturated and the buffer only costs

@@ -386,7 +386,7 @@ func TestSetBufferSizeValidation(t *testing.T) {
 		}
 		f.Close()
 	})
-	if _, err := (&Options{ChunkSize: 1, BufferSize: -5}).withDefaults(1); err == nil {
+	if _, err := (&Options{ChunkSize: 1, BufferSize: -5}).withDefaults(1, fsio.Capabilities{}); err == nil {
 		t.Error("Options.BufferSize=-5 accepted")
 	}
 }

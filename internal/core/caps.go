@@ -1,0 +1,52 @@
+package sion
+
+import (
+	"encoding/binary"
+
+	"repro/internal/fsio"
+	"repro/internal/mpi"
+)
+
+// Capability distribution for parallel opens. Geometry decisions
+// (NFiles, staging sizes, flush units — see Options.withDefaults) must
+// be identical on every task of a collective open, but each task holds
+// its own fsio binding whose decorator stack may differ. Rank 0's view
+// is therefore authoritative: it encodes its backend descriptor with
+// the fsio wire codec and broadcasts the bytes, so all ranks tune from
+// one descriptor — the same single-source pattern the FS block size
+// already follows.
+
+// capsWireWords is the broadcast shape: one length word plus the padded
+// descriptor payload (BcastInt64s requires every rank to pass the same
+// shape, so the encoding is fixed-size).
+const capsWireWords = 1 + (fsio.MaxEncodedCapsLen+7)/8
+
+// bcastCapabilities distributes rank 0's backend capability descriptor
+// across comm. Any decode problem degrades to the zero (conservative
+// POSIX-ish) descriptor on every rank alike.
+func bcastCapabilities(comm *mpi.Comm, fsys fsio.FileSystem) fsio.Capabilities {
+	buf := make([]int64, capsWireWords)
+	if comm.Rank() == 0 {
+		enc := fsio.CapabilitiesOf(fsys).Encode()
+		buf[0] = int64(len(enc))
+		padded := make([]byte, (capsWireWords-1)*8)
+		copy(padded, enc)
+		for i := 1; i < capsWireWords; i++ {
+			buf[i] = int64(binary.LittleEndian.Uint64(padded[(i-1)*8:]))
+		}
+	}
+	got := comm.BcastInt64s(0, buf)
+	n := int(got[0])
+	if n <= 0 || n > (capsWireWords-1)*8 {
+		return fsio.Capabilities{}
+	}
+	raw := make([]byte, (capsWireWords-1)*8)
+	for i := 1; i < capsWireWords; i++ {
+		binary.LittleEndian.PutUint64(raw[(i-1)*8:], uint64(got[i]))
+	}
+	caps, err := fsio.DecodeCapabilities(raw[:n])
+	if err != nil {
+		return fsio.Capabilities{}
+	}
+	return caps
+}

@@ -108,7 +108,7 @@ func ParOpenMapped(comm *mpi.Comm, fsys fsio.FileSystem, name string, mode Mode,
 	if mode != ReadMode {
 		return nil, fmt.Errorf("sion: ParOpenMapped %s: unsupported mode %v (mapped open reads an existing multifile)", name, mode)
 	}
-	o, err := opts.withDefaults(comm.Size())
+	o, err := opts.withDefaults(comm.Size(), fsio.CapabilitiesOf(fsys))
 	if err != nil {
 		return nil, err
 	}

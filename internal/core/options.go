@@ -1,6 +1,10 @@
 package sion
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fsio"
+)
 
 // Mode selects the access mode of a multifile handle.
 type Mode int
@@ -50,7 +54,10 @@ type Options struct {
 	// The alignment experiments (Table 1) set this explicitly.
 	FSBlockSize int64
 
-	// NFiles is the number of underlying physical files (default 1).
+	// NFiles is the number of underlying physical files. 0 picks the
+	// backend default: 1 on POSIX-ish backends, min(ntasks, WriteFanout)
+	// on backends that declare a preferred write fanout (see
+	// withDefaults).
 	NFiles int
 
 	// MaxChunks is an informational hint for the expected number of
@@ -134,12 +141,16 @@ type Options struct {
 	// to the unbuffered one, and Seek/EOF/BytesAvailInChunk semantics are
 	// unchanged.
 	//
-	// Values: 0 disables staging (the default, today's one-request-per-
-	// call behavior); a positive value is the exact buffer size in bytes;
-	// BufferAuto (-1) derives the size from the chunk geometry — one chunk
-	// capacity rounded up to a multiple of the FS block size, capped at
-	// bufferAutoCap — so a small-record checkpoint issues roughly one
-	// write request per chunk instead of one per record.
+	// Values: 0 is the backend default — unbuffered one-request-per-call
+	// behavior on POSIX-ish backends, upgraded to BufferAuto on backends
+	// with a multipart part-size floor (see withDefaults; sub-part writes
+	// pay staged copies there, so staging defaults on); a positive value
+	// is the exact buffer size in bytes; BufferAuto (-1) derives the size
+	// from the chunk geometry — one chunk capacity rounded up to a
+	// multiple of the FS block size, capped at bufferAutoCap — so a
+	// small-record checkpoint issues roughly one write request per chunk
+	// instead of one per record; BufferOff (-2) disables staging
+	// unconditionally on every backend.
 	//
 	// Collective handles ignore BufferSize: members route data through
 	// frames that already coalesce at the collector, and collective reads
@@ -185,13 +196,32 @@ func autoCollectorGroup(ntasksLocal int, avgAligned, fsblk int64) int {
 	return g
 }
 
-func (o *Options) withDefaults(ntasks int) (Options, error) {
+// withDefaults resolves the zero-value options against the task count
+// and the backend's capability descriptor (fsio.CapabilitiesOf; the
+// parallel opens broadcast rank 0's descriptor so all tasks resolve
+// identically). A zero descriptor reproduces the historical POSIX
+// defaults exactly; a backend that declares multipart write semantics
+// (PartSizeFloor > 0) or a write fanout gets its geometry auto-tuned:
+//
+//   - NFiles defaults to min(ntasks, WriteFanout) instead of 1, because
+//     such backends parallelize across objects, not within one.
+//   - BufferSize 0 upgrades to BufferAuto — sub-part writes pay staged
+//     copies there, so write-behind staging defaults ON, and because
+//     such a backend reports its part size as the FS block size, the
+//     auto-sized buffer is part-aligned. BufferOff is the explicit
+//     opt-out that keeps staging disabled on any backend.
+//   - An explicit AsyncFlushBytes rounds up to whole parts so the
+//     collective flush unit never commits a partial part.
+func (o *Options) withDefaults(ntasks int, caps fsio.Capabilities) (Options, error) {
 	var out Options
 	if o != nil {
 		out = *o
 	}
 	if out.NFiles <= 0 {
 		out.NFiles = 1
+		if caps.WriteFanout > 1 {
+			out.NFiles = int(caps.WriteFanout)
+		}
 	}
 	if out.NFiles > ntasks {
 		out.NFiles = ntasks
@@ -214,8 +244,19 @@ func (o *Options) withDefaults(ntasks int) (Options, error) {
 	if out.AsyncFlushBytes < 0 {
 		return out, fmt.Errorf("sion: negative AsyncFlushBytes %d", out.AsyncFlushBytes)
 	}
-	if out.BufferSize < BufferAuto {
-		return out, fmt.Errorf("sion: BufferSize %d (use 0 to disable, a positive size, or BufferAuto)", out.BufferSize)
+	if out.BufferSize < BufferOff {
+		return out, fmt.Errorf("sion: BufferSize %d (use 0 for the backend default, BufferOff to disable, a positive size, or BufferAuto)", out.BufferSize)
+	}
+	if caps.PartSizeFloor > 0 {
+		if out.BufferSize == 0 {
+			out.BufferSize = BufferAuto
+		}
+		if out.AsyncFlushBytes > 0 {
+			out.AsyncFlushBytes = alignUp(out.AsyncFlushBytes, caps.PartSizeFloor)
+		}
+	}
+	if out.BufferSize == BufferOff {
+		out.BufferSize = 0
 	}
 	return out, nil
 }

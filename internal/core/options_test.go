@@ -1,6 +1,10 @@
 package sion
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/fsio"
+)
 
 // TestMapFuncEdgeCases pins the task→file mapping functions on the shapes
 // that historically break integer-division layouts: task counts not
@@ -83,11 +87,12 @@ func TestWithDefaultsClamping(t *testing.T) {
 		{"collector-with-chunk-headers", &Options{CollectorGroup: 2, ChunkHeaders: true}, 4, 0, true},
 		{"async-without-collector", &Options{AsyncCollective: true}, 4, 0, true},
 		{"negative-flush", &Options{CollectorGroup: 2, AsyncCollective: true, AsyncFlushBytes: -1}, 4, 0, true},
-		{"buffer-below-auto", &Options{BufferSize: -2}, 4, 0, true},
+		{"buffer-off-accepted", &Options{BufferSize: BufferOff}, 4, 1, false},
+		{"buffer-below-off", &Options{BufferSize: -3}, 4, 0, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			out, err := tc.opts.withDefaults(tc.ntasks)
+			out, err := tc.opts.withDefaults(tc.ntasks, fsio.Capabilities{})
 			if tc.wantErr {
 				if err == nil {
 					t.Fatal("invalid options accepted")
@@ -104,5 +109,67 @@ func TestWithDefaultsClamping(t *testing.T) {
 				t.Error("default mapping not installed")
 			}
 		})
+	}
+}
+
+// TestWithDefaultsCapabilityTuning pins the backend-aware geometry
+// auto-tuning: a multipart descriptor turns staging on by default,
+// rounds the collective flush unit to whole parts, and spreads the
+// physical files to the backend's write fanout — while the zero
+// (POSIX-ish) descriptor reproduces the historical defaults exactly.
+func TestWithDefaultsCapabilityTuning(t *testing.T) {
+	objCaps := fsio.Capabilities{
+		Backend:       "objstore",
+		PartSizeFloor: 1 << 20,
+		WriteFanout:   8,
+		Sync:          fsio.SyncOnSeal,
+	}
+
+	// Zero descriptor: nothing changes.
+	o, err := (&Options{ChunkSize: 64}).withDefaults(32, fsio.Capabilities{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NFiles != 1 || o.BufferSize != 0 {
+		t.Fatalf("posix defaults moved: NFiles=%d BufferSize=%d", o.NFiles, o.BufferSize)
+	}
+
+	// Multipart descriptor: fanout + staging defaults.
+	o, err = (&Options{ChunkSize: 64}).withDefaults(32, objCaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NFiles != 8 {
+		t.Errorf("NFiles = %d, want WriteFanout 8", o.NFiles)
+	}
+	if o.BufferSize != BufferAuto {
+		t.Errorf("BufferSize = %d, want BufferAuto", o.BufferSize)
+	}
+
+	// Fanout clamps to the task count and never overrides the caller.
+	o, _ = (&Options{ChunkSize: 64}).withDefaults(3, objCaps)
+	if o.NFiles != 3 {
+		t.Errorf("NFiles = %d, want clamp to 3 tasks", o.NFiles)
+	}
+	o, _ = (&Options{ChunkSize: 64, NFiles: 2}).withDefaults(32, objCaps)
+	if o.NFiles != 2 {
+		t.Errorf("NFiles = %d, want caller's 2", o.NFiles)
+	}
+
+	// BufferOff is the explicit opt-out; an explicit size is kept.
+	o, _ = (&Options{ChunkSize: 64, BufferSize: BufferOff}).withDefaults(32, objCaps)
+	if o.BufferSize != 0 {
+		t.Errorf("BufferOff resolved to %d, want 0", o.BufferSize)
+	}
+	o, _ = (&Options{ChunkSize: 64, BufferSize: 4096}).withDefaults(32, objCaps)
+	if o.BufferSize != 4096 {
+		t.Errorf("explicit BufferSize resolved to %d, want 4096", o.BufferSize)
+	}
+
+	// Explicit flush units round up to whole parts.
+	o, _ = (&Options{ChunkSize: 64, CollectorGroup: 4, AsyncCollective: true,
+		AsyncFlushBytes: 100}).withDefaults(32, objCaps)
+	if o.AsyncFlushBytes != 1<<20 {
+		t.Errorf("AsyncFlushBytes = %d, want one part (%d)", o.AsyncFlushBytes, 1<<20)
 	}
 }

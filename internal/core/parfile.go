@@ -104,7 +104,11 @@ func ParOpen(comm *mpi.Comm, fsys fsio.FileSystem, name string, mode Mode, opts 
 }
 
 func parOpenWrite(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Options) (*File, error) {
-	o, err := opts.withDefaults(comm.Size())
+	// Backend capabilities drive the geometry defaults (NFiles fanout,
+	// staging, flush units); rank 0's descriptor is broadcast so every
+	// task resolves the same geometry (see caps.go).
+	caps := bcastCapabilities(comm, fsys)
+	o, err := opts.withDefaults(comm.Size(), caps)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +322,8 @@ func resolveCollectorGroup(opt, ntasksLocal int, stride, fsblk int64) int {
 const geoIndex = 0
 
 func parOpenRead(comm *mpi.Comm, fsys fsio.FileSystem, name string, opts *Options) (*File, error) {
-	o, err := opts.withDefaults(comm.Size())
+	caps := bcastCapabilities(comm, fsys)
+	o, err := opts.withDefaults(comm.Size(), caps)
 	if err != nil {
 		return nil, err
 	}

@@ -475,6 +475,171 @@ func TestPropertyLiveTail(t *testing.T) {
 	}
 }
 
+// TestPropertyRoundTripObjStore runs the round-trip property through the
+// simulated object-store backend (internal/simfs ObjStore with a tiny
+// part size, so multi-part objects and staged copies occur at test
+// scale): for random geometries, every write mode (unbuffered direct,
+// buffered direct, synchronous collective, async collective) must
+// produce byte-identical multifiles, and every read mode must return
+// exactly the written payloads. A final zero-option cycle lets the
+// capability descriptor pick the geometry (part-sized FS blocks,
+// fanout files, BufferAuto staging) and checks logical identity — the
+// physical layout legitimately differs from the explicit arms.
+func TestPropertyRoundTripObjStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	prof := simfs.ObjProfile{
+		PartBytes: 8192, MaxGetBytes: 16384, PreferredGetBytes: 8192, WriteFanout: 3,
+	}
+	for iter := 0; iter < 6; iter++ {
+		n := 2 + rng.Intn(6)
+		nfiles := 1 + rng.Intn(3)
+		if nfiles > n {
+			nfiles = n
+		}
+		chunk := int64(48 + rng.Intn(500))
+		fsblk := int64(64 << rng.Intn(3))
+		group := 2 + rng.Intn(n)
+		bufSize := bufSizeChoices(rng)
+		readBuf := bufSizeChoices(rng)
+		sizes := make([]int, n)
+		for r := range sizes {
+			sizes[r] = rng.Intn(3 * int(alignUp(chunk, fsblk)))
+		}
+
+		name := fmt.Sprintf("iter%d n=%d files=%d chunk=%d fsblk=%d g=%d buf=%d rbuf=%d",
+			iter, n, nfiles, chunk, fsblk, group, bufSize, readBuf)
+		t.Run(name, func(t *testing.T) {
+			obj := simfs.NewObjStore(prof)
+			fsys := obj.Wrap(fsio.NewOS(t.TempDir()), nil)
+			if caps := fsio.CapabilitiesOf(fsys); caps.PartSizeFloor != prof.PartBytes {
+				t.Fatalf("backend descriptor lost: %+v", caps)
+			}
+			write := func(file string, g int, async bool, buf int64) {
+				mpi.Run(n, func(c *mpi.Comm) {
+					f, err := ParOpen(c, fsys, file, WriteMode, &Options{
+						ChunkSize: chunk, FSBlockSize: fsblk, NFiles: nfiles,
+						CollectorGroup: g, AsyncCollective: async, BufferSize: buf,
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					payload := rankPayload(c.Rank(), sizes[c.Rank()])
+					prng := rand.New(rand.NewSource(int64(3000*iter + c.Rank())))
+					for off := 0; off < len(payload); {
+						end := off + 1 + prng.Intn(2*int(chunk))
+						if end > len(payload) {
+							end = len(payload)
+						}
+						if _, err := f.Write(payload[off:end]); err != nil {
+							t.Error(err)
+							return
+						}
+						off = end
+					}
+					if err := f.Close(); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+			// BufferOff pins the first arm to genuinely unbuffered small
+			// writes (BufferSize 0 would auto-upgrade to BufferAuto on
+			// this backend); the others take whatever staging they get.
+			write("direct.sion", 0, false, BufferOff)
+			write("buffered.sion", 0, false, bufSize)
+			write("coll.sion", group, false, 0)
+			write("async.sion", group, true, 0)
+			for k := 0; k < nfiles; k++ {
+				a := fileName("direct.sion", k)
+				mustEqualFiles(t, fsys, a, fileName("buffered.sion", k))
+				mustEqualFiles(t, fsys, a, fileName("coll.sion", k))
+				mustEqualFiles(t, fsys, a, fileName("async.sion", k))
+			}
+			if err := Verify(fsys, "async.sion"); err != nil {
+				t.Fatal(err)
+			}
+			// Staged copies must actually have occurred somewhere in the
+			// sweep when chunks landed part-misaligned — otherwise the
+			// backend model degenerated to plain POSIX counting.
+			if st := obj.Stats(); st.Puts == 0 || st.Gets == 0 {
+				t.Fatalf("object-store ledger did not move: %+v", st)
+			}
+			modes := []struct {
+				rg  int
+				buf int64
+			}{{0, BufferOff}, {0, readBuf}, {group, 0}}
+			for _, mode := range modes {
+				rg, rbuf := mode.rg, mode.buf
+				mpi.Run(n, func(c *mpi.Comm) {
+					var ropts *Options
+					if rg != 0 {
+						ropts = &Options{CollectorGroup: rg}
+					} else {
+						ropts = &Options{BufferSize: rbuf}
+					}
+					r, err := ParOpen(c, fsys, "async.sion", ReadMode, ropts)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					defer r.Close()
+					payload := rankPayload(c.Rank(), sizes[c.Rank()])
+					got := make([]byte, len(payload))
+					if len(got) > 0 {
+						if _, err := io.ReadFull(r, got); err != nil {
+							t.Errorf("rank %d: %v", c.Rank(), err)
+							return
+						}
+					}
+					if !bytes.Equal(got, payload) {
+						t.Errorf("rank %d: payload mismatch (group %d buf %d)", c.Rank(), rg, rbuf)
+					}
+				})
+			}
+			// Zero-option cycle: the descriptor picks the geometry.
+			mpi.Run(n, func(c *mpi.Comm) {
+				f, err := ParOpen(c, fsys, "auto.sion", WriteMode, &Options{ChunkSize: chunk})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := f.FSBlockSize(); got != prof.PartBytes {
+					t.Errorf("auto FSBlockSize = %d, want the part size %d", got, prof.PartBytes)
+				}
+				if want := min(n, int(prof.WriteFanout)); f.NumFiles() != want {
+					t.Errorf("auto NFiles = %d, want the fanout %d", f.NumFiles(), want)
+				}
+				if _, err := f.Write(rankPayload(c.Rank(), sizes[c.Rank()])); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					t.Error(err)
+				}
+			})
+			mpi.Run(n, func(c *mpi.Comm) {
+				r, err := ParOpen(c, fsys, "auto.sion", ReadMode, nil)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer r.Close()
+				payload := rankPayload(c.Rank(), sizes[c.Rank()])
+				got := make([]byte, len(payload))
+				if len(got) > 0 {
+					if _, err := io.ReadFull(r, got); err != nil {
+						t.Errorf("rank %d: %v", c.Rank(), err)
+						return
+					}
+				}
+				if !bytes.Equal(got, payload) {
+					t.Errorf("rank %d: auto-geometry payload mismatch", c.Rank())
+				}
+			})
+		})
+	}
+}
+
 // TestPropertyRoundTripTransientFaults layers the resilience stack under
 // the round-trip property: the OS file system is wrapped in the seeded
 // flaky-fault lab (random per-op transient EIO/EAGAIN rate) and then in

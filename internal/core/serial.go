@@ -62,7 +62,7 @@ func Create(fsys fsio.FileSystem, name string, chunkSizes []int64, opts *Options
 			return nil, fmt.Errorf("sion: Create %s: chunk size %d for task %d", name, cs, i)
 		}
 	}
-	o, err := opts.withDefaults(len(chunkSizes))
+	o, err := opts.withDefaults(len(chunkSizes), fsio.CapabilitiesOf(fsys))
 	if err != nil {
 		return nil, err
 	}

@@ -145,6 +145,7 @@ func All(scale int) []*Result {
 		Table7(scale),
 		Table8(scale),
 		Table9(scale),
+		Table10(scale),
 	}
 }
 
@@ -183,11 +184,13 @@ func ByName(name string) func(scale int) *Result {
 		return Table8
 	case "tab9", "table9":
 		return Table9
+	case "tab10", "table10":
+		return Table10
 	}
 	return nil
 }
 
 // Names lists the experiment ids in paper order.
 func Names() []string {
-	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9"}
+	return []string{"fig3a", "fig3b", "fig4a", "fig4b", "tab1", "fig5a", "fig5b", "fig6", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8", "tab9", "tab10"}
 }

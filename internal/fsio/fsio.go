@@ -60,9 +60,20 @@ type FileSystem interface {
 	// Remove deletes the named file.
 	Remove(name string) error
 	// BlockSize reports the file-system block size governing the directory
-	// that would contain name (fstat's st_blksize equivalent).
+	// that would contain name (fstat's st_blksize equivalent). The call
+	// must work for names that do not exist yet — callers size a multifile
+	// before creating it — and must never fail: backends answer from the
+	// enclosing directory or from their configuration, falling back to a
+	// sane default. Backends with multipart write semantics
+	// (Capabilities.PartSizeFloor > 0) report the part size here, so
+	// block-aligned chunk geometry is automatically part-aligned.
 	BlockSize(name string) int64
 }
+
+// Backends may additionally implement CapabilityReporter (caps.go) to
+// describe their contract beyond this minimal surface; decorators
+// implement Unwrapper so such optional interfaces survive wrapping. Use
+// CapabilitiesOf/As to query a possibly-decorated FileSystem.
 
 // FileInfo is the subset of file metadata SIONlib consumes.
 type FileInfo struct {

@@ -160,6 +160,11 @@ func (f *meteredFS) Remove(name string) error {
 
 func (f *meteredFS) BlockSize(name string) int64 { return f.inner.BlockSize(name) }
 
+// Unwrap exposes the decorated backend so optional interfaces
+// (CapabilityReporter, future extensions) survive instrumentation; see
+// fsio.As.
+func (f *meteredFS) Unwrap() FileSystem { return f.inner }
+
 type meteredFile struct {
 	inner File
 	m     *Meter

@@ -184,7 +184,10 @@ func (f *fetcher) serve(batch []*fetchReq) {
 				buf := make([]byte, sp.End-sp.Off)
 				// A short read past EOF leaves the zero fill of make,
 				// matching the ReadAt contract for unwritten regions.
-				retries, rerr := s.spanRead(f.fh, f.file, buf, sp.Off)
+				// Spans longer than the backend's ranged-read ceiling
+				// (Config.MaxSpanBytes, from the capability descriptor)
+				// are read in several block-aligned requests.
+				retries, rerr := f.windowedSpanRead(buf, sp.Off)
 				stats.retries += retries
 				if rerr != nil {
 					if blockErr == nil {
@@ -238,6 +241,31 @@ func (f *fetcher) serve(batch []*fetchReq) {
 		}
 		r.reply <- res
 	}
+}
+
+// windowedSpanRead reads one dense span, split into requests of at most
+// Server.maxSpanBytes (0 = one request regardless of length) so no
+// single backend read exceeds the backend's ranged-read capability. The
+// first failing window fails the whole span — its blocks are
+// re-requested together anyway.
+func (f *fetcher) windowedSpanRead(buf []byte, off int64) (retries int64, _ error) {
+	s := f.s
+	max := s.maxSpanBytes
+	if max <= 0 || max >= int64(len(buf)) {
+		return s.spanRead(f.fh, f.file, buf, off)
+	}
+	for w := int64(0); w < int64(len(buf)); w += max {
+		end := w + max
+		if end > int64(len(buf)) {
+			end = int64(len(buf))
+		}
+		r, err := s.spanRead(f.fh, f.file, buf[w:end], off+w)
+		retries += r
+		if err != nil {
+			return retries, err
+		}
+	}
+	return retries, nil
 }
 
 // cachePut inserts a block and attributes any evictions it caused to the

@@ -89,9 +89,18 @@ type Config struct {
 	Shards int
 
 	// MaxSpanGap bounds the unwanted bytes one backend span read may
-	// fetch between two missed blocks (default sion.DefaultSpanGap;
-	// negative = merge only adjacent blocks).
+	// fetch between two missed blocks (default: the backend's preferred
+	// request size when its capability descriptor reports one — paying
+	// up to one preferred request of gap bytes to save a request round
+	// trip is the break-even point — else sion.DefaultSpanGap; negative
+	// = merge only adjacent blocks).
 	MaxSpanGap int64
+
+	// MaxSpanBytes bounds one dense backend span read; longer spans are
+	// read in several requests of at most this size (default: the
+	// backend's MaxReadBytes capability rounded down to whole cache
+	// blocks; 0 = unbounded; negative = force one block per request).
+	MaxSpanBytes int64
 
 	// BatchWindow, when positive, makes a fetcher wait this long after
 	// the first miss of a batch so that misses of concurrent clients
@@ -170,19 +179,20 @@ type Server struct {
 	mu     sync.RWMutex // readAt holds R, Close holds W
 	closed bool
 
-	name        string   // multifile base name (error messages)
-	physNames   []string // physical file paths, indexed like files
-	layout      *sion.Layout
-	files       []fsio.File
-	fetchers    []*fetcher
-	breakers    []*resil.Breaker // per physical file; nil entries = disabled
-	cache       *blockCache
-	blockBytes  int64
-	maxSpanGap  int64
-	batchWindow time.Duration
-	retry       resil.Budget
-	breakerCfg  [2]int // resolved {threshold, cooldown}; threshold < 0 disables
-	peerFill    func(file int, block int64) ([]byte, bool)
+	name         string   // multifile base name (error messages)
+	physNames    []string // physical file paths, indexed like files
+	layout       *sion.Layout
+	files        []fsio.File
+	fetchers     []*fetcher
+	breakers     []*resil.Breaker // per physical file; nil entries = disabled
+	cache        *blockCache
+	blockBytes   int64
+	maxSpanGap   int64
+	maxSpanBytes int64
+	batchWindow  time.Duration
+	retry        resil.Budget
+	breakerCfg   [2]int // resolved {threshold, cooldown}; threshold < 0 disables
+	peerFill     func(file int, block int64) ([]byte, bool)
 
 	// Tail mode (NewTail): the live layout and per-rank committed sizes
 	// from the last Poll. tailMu serializes all TailLayout access; no path
@@ -207,14 +217,15 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	c := resolveConfig(cfg, layout.FSBlockSize())
+	c := resolveConfig(cfg, layout.FSBlockSize(), fsio.CapabilitiesOf(fsys))
 	s := &Server{
-		name:        name,
-		layout:      layout,
-		blockBytes:  c.BlockBytes,
-		maxSpanGap:  c.MaxSpanGap,
-		batchWindow: c.BatchWindow,
-		cache:       newBlockCache(c.CacheBytes, c.Shards),
+		name:         name,
+		layout:       layout,
+		blockBytes:   c.BlockBytes,
+		maxSpanGap:   c.MaxSpanGap,
+		maxSpanBytes: c.MaxSpanBytes,
+		batchWindow:  c.BatchWindow,
+		cache:        newBlockCache(c.CacheBytes, c.Shards),
 	}
 	s.applyResilience(c)
 	s.applyMetrics(c)
@@ -228,8 +239,10 @@ func New(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 }
 
 // resolveConfig applies the Config defaults against the multifile's FS
-// block size (see the Config field docs).
-func resolveConfig(cfg *Config, fsblk int64) Config {
+// block size and the backend's capability descriptor (see the Config
+// field docs). A zero descriptor reproduces the historical POSIX-tuned
+// defaults exactly.
+func resolveConfig(cfg *Config, fsblk int64, caps fsio.Capabilities) Config {
 	var c Config
 	if cfg != nil {
 		c = *cfg
@@ -258,9 +271,27 @@ func resolveConfig(cfg *Config, fsblk int64) Config {
 		c.Shards /= 2
 	}
 	if c.MaxSpanGap == 0 {
-		c.MaxSpanGap = sion.DefaultSpanGap
+		if caps.PreferredRequestBytes > 0 {
+			c.MaxSpanGap = caps.PreferredRequestBytes
+		} else {
+			c.MaxSpanGap = sion.DefaultSpanGap
+		}
 	} else if c.MaxSpanGap < 0 {
 		c.MaxSpanGap = 0
+	}
+	if c.MaxSpanBytes == 0 {
+		c.MaxSpanBytes = caps.MaxReadBytes
+	} else if c.MaxSpanBytes < 0 {
+		c.MaxSpanBytes = c.BlockBytes
+	}
+	if c.MaxSpanBytes > 0 {
+		// Span requests are built from whole cache blocks; round the
+		// ceiling down to the block grid (never below one block — the
+		// backend splits oversized single requests itself).
+		c.MaxSpanBytes -= c.MaxSpanBytes % c.BlockBytes
+		if c.MaxSpanBytes < c.BlockBytes {
+			c.MaxSpanBytes = c.BlockBytes
+		}
 	}
 	return c
 }

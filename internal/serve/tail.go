@@ -43,13 +43,14 @@ func NewTail(fsys fsio.FileSystem, name string, cfg *Config) (*Server, error) {
 		c = *cfg
 	}
 	c.BlockBytes = t.FSBlockSize()
-	c = resolveConfig(&c, t.FSBlockSize())
+	c = resolveConfig(&c, t.FSBlockSize(), fsio.CapabilitiesOf(fsys))
 	s := &Server{
 		name:          name,
 		tail:          t,
 		prevCommitted: make([]int64, t.NTasks()),
 		blockBytes:    c.BlockBytes,
 		maxSpanGap:    c.MaxSpanGap,
+		maxSpanBytes:  c.MaxSpanBytes,
 		batchWindow:   c.BatchWindow,
 		cache:         newBlockCache(c.CacheBytes, c.Shards),
 	}
